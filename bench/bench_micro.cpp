@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) of the simulation substrate
+// itself: how fast the kernel, interconnect, ICAP path and workload
+// generators run on the host. These guard against performance
+// regressions that would make the table harnesses impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "accel/filters.hpp"
+#include "bitstream/generator.hpp"
+#include "common/rng.hpp"
+#include "icap/icap.hpp"
+#include "mem/ddr.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rvcap;
+
+void BM_FifoPushPop(benchmark::State& state) {
+  sim::Fifo<u64> f(64);
+  u64 v = 0;
+  for (auto _ : state) {
+    f.push(v++);
+    benchmark::DoNotOptimize(f.pop());
+  }
+}
+BENCHMARK(BM_FifoPushPop);
+
+class Nop : public sim::Component {
+ public:
+  Nop() : Component("nop") {}
+  void tick() override { benchmark::DoNotOptimize(count_++); }
+
+ private:
+  u64 count_ = 0;
+};
+
+void BM_SimulatorTick(benchmark::State& state) {
+  sim::Simulator s;
+  std::vector<std::unique_ptr<Nop>> comps;
+  for (i64 i = 0; i < state.range(0); ++i) {
+    comps.push_back(std::make_unique<Nop>());
+    s.add(comps.back().get());
+  }
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTick)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DdrBurstRead(benchmark::State& state) {
+  sim::Simulator s;
+  mem::DdrController ddr("ddr");
+  s.add(&ddr);
+  for (auto _ : state) {
+    ddr.port().ar.push(axi::AxiAr{0x1000, 15, 3});
+    u32 got = 0;
+    while (got < 16) {
+      s.step();
+      while (ddr.port().r.can_pop()) {
+        ddr.port().r.pop();
+        ++got;
+      }
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * 8);
+}
+BENCHMARK(BM_DdrBurstRead);
+
+void BM_IcapWordDecode(benchmark::State& state) {
+  const auto dev = fabric::DeviceGeometry::kintex7_325t();
+  fabric::ConfigMemory cfg(dev);
+  icap::Icap icap("icap", cfg);
+  sim::Simulator s;
+  s.add(&icap);
+  for (auto _ : state) {
+    if (icap.port().can_push()) icap.port().push(bitstream::kNop);
+    s.step();
+  }
+  state.SetBytesProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_IcapWordDecode);
+
+void BM_GeneratePartialBitstream(benchmark::State& state) {
+  const auto dev = fabric::DeviceGeometry::kintex7_325t();
+  const auto rp = fabric::case_study_partition(dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bitstream::generate_partial_bitstream(dev, rp, {1, "bench"}));
+  }
+  state.SetBytesProcessed(state.iterations() * 650892);
+}
+BENCHMARK(BM_GeneratePartialBitstream);
+
+void BM_GoldenFilter(benchmark::State& state) {
+  const auto kind = static_cast<accel::FilterKind>(state.range(0));
+  const accel::Image img = accel::make_test_image(512, 512, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel::apply_golden(kind, img));
+  }
+  state.SetBytesProcessed(state.iterations() * 512 * 512);
+}
+BENCHMARK(BM_GoldenFilter)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ConfigCrc(benchmark::State& state) {
+  bitstream::ConfigCrc crc;
+  u32 w = 0;
+  for (auto _ : state) {
+    crc.update(2, w++);
+    benchmark::DoNotOptimize(crc.value());
+  }
+  state.SetBytesProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ConfigCrc);
+
+void BM_SplitMix64(benchmark::State& state) {
+  SplitMix64 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_SplitMix64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

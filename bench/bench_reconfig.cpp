@@ -1,0 +1,85 @@
+// §IV-B detail harness: the headline timing numbers and the software
+// optimization study — T_d / T_r with interrupt vs. blocking completion
+// for RV-CAP, and the loop-unroll sweep for the AXI_HWICAP driver.
+#include "bench_util.hpp"
+#include "sim/probe.hpp"
+
+using namespace rvcap;
+
+int main() {
+  bench::print_header("SECTION IV-B: Reconfiguration time measurements");
+
+  // ---- RV-CAP, interrupt ("non-blocking") and polling modes ----
+  soc::ArianeSoc rv_soc((soc::SocConfig()));
+  driver::RvCapDriver rv_drv(rv_soc.cpu(), rv_soc.plic());
+  sim::ThroughputProbe<u32> icap_probe("icap_port",
+                                       rv_soc.icap().port());
+  rv_soc.sim().add(&icap_probe);
+
+  icap_probe.reset();
+  const auto irq = bench::run_rvcap_reconfig(rv_soc, rv_drv,
+                                             accel::kRmIdSobel,
+                                             driver::DmaMode::kInterrupt);
+  const double icap_util = icap_probe.utilization();
+  const auto poll = bench::run_rvcap_reconfig(rv_soc, rv_drv,
+                                              accel::kRmIdSobel,
+                                              driver::DmaMode::kBlocking);
+
+  std::printf("\nRV-CAP (650892-byte partial bitstream):\n");
+  std::printf("  interrupt mode: T_d = %5.1f us   T_r = %7.1f us   "
+              "%6.1f MB/s   [paper: T_d=18, T_r=1651]\n",
+              irq.td_us, irq.tr_us, irq.mbps);
+  std::printf("  blocking mode:  T_d = %5.1f us   T_r = %7.1f us   "
+              "%6.1f MB/s\n",
+              poll.td_us, poll.tr_us, poll.mbps);
+  std::printf("  ICAP port utilization during the interrupt-mode "
+              "transfer: %.1f%% of cycles (incl. T_d setup window)\n",
+              100.0 * icap_util);
+
+  // ---- AXI_HWICAP unroll sweep ----
+  soc::SocConfig hw_cfg;
+  hw_cfg.with_hwicap = true;
+  soc::ArianeSoc hw_soc(hw_cfg);
+  driver::HwIcapDriver hw_drv(hw_soc.cpu(), 16);
+
+  std::printf("\nAXI_HWICAP with RV64GC — FIFO-store loop unrolling "
+              "(§IV-B):\n");
+  std::printf("%8s %12s %10s %12s\n", "unroll", "T_r (ms)", "MB/s",
+              "vs. u=16");
+  double mbps16 = 0;
+  bool shape_ok = true;
+  std::vector<std::pair<u32, double>> series;
+  for (const u32 u : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto r = bench::run_hwicap_reconfig(hw_soc, hw_drv,
+                                              accel::kRmIdSobel, u);
+    if (u == 16) mbps16 = r.mbps;
+    series.emplace_back(u, r.mbps);
+    shape_ok &= r.loaded;
+  }
+  for (const auto& [u, mbps] : series) {
+    std::printf("%8u %12.2f %10.2f %+11.1f%%", u,
+                650892.0 / mbps / 1000.0, mbps,
+                mbps16 > 0 ? 100.0 * (mbps - mbps16) / mbps16 : 0.0);
+    if (u == 1) std::printf("   [paper: 4.16 MB/s, T_r=156.45 ms]");
+    if (u == 16) std::printf("   [paper: 8.23 MB/s]");
+    std::printf("\n");
+  }
+
+  // Shape: monotone gain, saturating <5% beyond u=16.
+  for (usize i = 1; i < series.size(); ++i) {
+    shape_ok &= series[i].second >= series[i - 1].second * 0.999;
+  }
+  shape_ok &= (series.back().second - mbps16) / mbps16 < 0.05;
+  shape_ok &= irq.mbps > 390 && irq.mbps < 400;
+
+  std::printf("\nshape check (unroll gains saturate <5%% past 16; RV-CAP "
+              "within the ICAP ceiling): %s\n",
+              shape_ok ? "OK" : "FAILED");
+  std::printf("\nwhy unrolling matters: Ariane does not speculate past\n"
+              "non-cacheable accesses, so each loop iteration adds a\n"
+              "pipeline stall (timing model: %u cycles) that unrolling\n"
+              "amortizes across %s stores.\n",
+              cpu::CpuTimingModel{}.loop_overhead_cycles, "U");
+  bench::print_footnote();
+  return shape_ok ? 0 : 1;
+}

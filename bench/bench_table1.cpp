@@ -1,0 +1,58 @@
+// Table I: resources utilization of the RV-CAP controller compared to
+// AXI_HWICAP on Xilinx Kintex-7, with measured reconfiguration
+// throughput of both deployments.
+#include "bench_util.hpp"
+#include "resources/database.hpp"
+
+using namespace rvcap;
+
+int main() {
+  bench::print_header(
+      "TABLE I: Resource utilization and throughput, RV-CAP vs AXI_HWICAP");
+
+  // ---- measured throughputs on the full SoC simulation ----
+  soc::SocConfig rv_cfg;
+  soc::ArianeSoc rv_soc(rv_cfg);
+  driver::RvCapDriver rv_drv(rv_soc.cpu(), rv_soc.plic());
+  const auto rv = bench::run_rvcap_reconfig(rv_soc, rv_drv,
+                                            accel::kRmIdSobel);
+
+  soc::SocConfig hw_cfg;
+  hw_cfg.with_hwicap = true;
+  soc::ArianeSoc hw_soc(hw_cfg);
+  driver::HwIcapDriver hw_drv(hw_soc.cpu(), 16);
+  const auto hw = bench::run_hwicap_reconfig(hw_soc, hw_drv,
+                                             accel::kRmIdSobel, 16);
+
+  const auto db = resources::ResourceDb::paper_database();
+  const auto* rv_top = db.find("rvcap.rp_ctrl_axi");
+  const auto* rv_dma = db.find("rvcap.dma");
+  const auto* hw_axi = db.find("hwicap_deploy.axi_modules");
+  const auto* hw_core = db.find("hwicap_deploy.axi_hwicap");
+
+  std::printf("\n%-12s %-24s %7s %7s %6s  %s\n", "Controller", "Modules",
+              "LUTs", "FFs", "BRAMs", "Throughput (MB/s)");
+  std::printf("%-12s %-24s %7u %7u %6u  %8.1f (model)  [398.1 (paper)]\n",
+              "RV-CAP", "RP cntrl. + AXI modules", rv_top->res.luts,
+              rv_top->res.ffs, rv_top->res.brams, rv.mbps);
+  std::printf("%-12s %-24s %7u %7u %6u\n", "", "DMA cntrl.",
+              rv_dma->res.luts, rv_dma->res.ffs, rv_dma->res.brams);
+  std::printf("%-12s %-24s %7u %7u %6u  %8.2f (model)  [8.23 (paper)]\n",
+              "AXI_HWICAP", "HWICAP AXI modules", hw_axi->res.luts,
+              hw_axi->res.ffs, hw_axi->res.brams, hw.mbps);
+  std::printf("%-12s %-24s %7u %7u %6u\n", "with RV64GC", "AXI_HWICAP",
+              hw_core->res.luts, hw_core->res.ffs, hw_core->res.brams);
+
+  std::printf("\npartial bitstream: %u bytes (paper: 650892)\n",
+              rv.pbit_bytes);
+  std::printf("RV-CAP:      T_d=%.1f us, T_r=%.1f us, loaded=%d\n", rv.td_us,
+              rv.tr_us, rv.loaded);
+  std::printf("AXI_HWICAP:  T_r=%.0f us (%.2f ms), loaded=%d\n", hw.tr_us,
+              hw.tr_us / 1000.0, hw.loaded);
+  std::printf(
+      "\nresource columns are the paper's Vivado synthesis reports\n"
+      "(tagged 'paper' in the ResourceDb); throughputs are measured on\n"
+      "the simulation.\n");
+  bench::print_footnote();
+  return (rv.loaded && hw.loaded) ? 0 : 1;
+}

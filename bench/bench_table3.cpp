@@ -1,0 +1,75 @@
+// Table III: resources utilization of the full SoC with one RP, plus
+// the Fig. 4 floorplan of the model device.
+#include "bench_util.hpp"
+#include "fabric/floorplan.hpp"
+#include "resources/database.hpp"
+
+using namespace rvcap;
+
+int main() {
+  bench::print_header("TABLE III: Full SoC resource utilization (one RP)");
+
+  const auto db = resources::ResourceDb::paper_database();
+  auto print_row = [&](const char* label, const char* key) {
+    const auto* e = db.find(key);
+    std::printf("%-28s %7u %7u %6u %5u\n", label, e->res.luts, e->res.ffs,
+                e->res.brams, e->res.dsps);
+  };
+
+  std::printf("\n%-28s %7s %7s %6s %5s\n", "SoC Component", "LUTs", "FFs",
+              "BRAMs", "DSPs");
+  print_row("Full SoC", "soc.full");
+  print_row("Ariane Core", "soc.ariane_core");
+  print_row("Peripherals & Boot Mem.", "soc.peripherals_bootmem");
+  print_row("RV-CAP controller", "soc.rvcap_controller");
+  print_row("RP", "soc.rp");
+
+  // Aggregation identity check (the table's own consistency).
+  const std::string_view parts[] = {"soc.ariane_core",
+                                    "soc.peripherals_bootmem",
+                                    "soc.rvcap_controller", "soc.rp"};
+  const bool sums = db.total(parts) == db.find("soc.full")->res;
+  std::printf("\ncomponent rows sum to the Full SoC row: %s\n",
+              sums ? "OK" : "FAILED");
+
+  // RM rows with % of the RP (paper's parenthesised numbers).
+  const auto rp = db.find("soc.rp")->res;
+  std::printf("\n%-12s %7s %7s %6s %5s   (%% of RP: LUT/FF/BRAM/DSP)\n",
+              "RMs", "LUTs", "FFs", "BRAMs", "DSPs");
+  for (const char* key :
+       {"soc.rm.gaussian", "soc.rm.median", "soc.rm.sobel"}) {
+    const auto* e = db.find(key);
+    const auto pct = resources::utilization_pct(e->res, rp);
+    std::printf("%-12s %7u %7u %6u %5u   (%5.2f%% / %5.2f%% / %5.2f%% / "
+                "%4.2f%%)\n",
+                e->name.substr(7).c_str(), e->res.luts, e->res.ffs,
+                e->res.brams, e->res.dsps, pct.luts, pct.ffs, pct.brams,
+                pct.dsps);
+  }
+
+  // RV-CAP's share of the SoC (paper: 3.25% of LUTs+FFs).
+  const auto* full = db.find("soc.full");
+  const auto* ctrl = db.find("soc.rvcap_controller");
+  const double share = 100.0 *
+                       (ctrl->res.luts + ctrl->res.ffs) /
+                       (full->res.luts + full->res.ffs);
+  std::printf("\nRV-CAP share of SoC LUT+FF: %.2f%%  [paper: ~3.25%% of "
+              "total SoC resources in terms of LUT and FFs]\n",
+              share);
+
+  // ---- Fig. 4: floorplan ----
+  bench::print_header("FIG. 4: Full SoC floorplan (model XC7K325T)");
+  const auto dev = fabric::DeviceGeometry::kintex7_325t();
+  const auto rp0 = fabric::case_study_partition(dev);
+  // Static-region anchors (illustrative, as Fig. 4's annotations).
+  const fabric::FloorplanRegion regions[] = {
+      {"RP0 (reconfigurable partition)", &rp0, '#'},
+  };
+  std::printf("%s\n", fabric::render_floorplan(dev, regions).c_str());
+  const auto total = dev.total_resources();
+  std::printf("model device totals: %u LUT / %u FF / %u BRAM36 / %u DSP "
+              "(XC7K325T: 203800 / 407600 / 445 / 840)\n",
+              total.luts, total.ffs, total.brams, total.dsps);
+  bench::print_footnote();
+  return sums ? 0 : 1;
+}

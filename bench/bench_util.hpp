@@ -1,0 +1,89 @@
+// Shared helpers for the table/figure regeneration harnesses.
+//
+// Each bench binary reproduces one table or figure of the paper: it
+// runs the full SoC simulation (or the calibrated literature models
+// where the paper quotes related work) and prints the same rows the
+// paper reports, annotated with the paper's numbers for side-by-side
+// comparison. EXPERIMENTS.md records a captured run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "accel/rm_slot.hpp"
+#include "bitstream/generator.hpp"
+#include "common/units.hpp"
+#include "driver/hwicap_driver.hpp"
+#include "driver/rvcap_driver.hpp"
+#include "soc/ariane_soc.hpp"
+
+namespace rvcap::bench {
+
+struct ReconfigResult {
+  double td_us = 0;
+  double tr_us = 0;
+  double mbps = 0;
+  u32 pbit_bytes = 0;
+  bool loaded = false;
+};
+
+/// Stage a partial bitstream for `rm_id` into DDR and run the full
+/// Listing-1 flow on a fresh RV-CAP SoC.
+inline ReconfigResult run_rvcap_reconfig(
+    soc::ArianeSoc& soc, driver::RvCapDriver& drv, u32 rm_id,
+    driver::DmaMode mode = driver::DmaMode::kInterrupt) {
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(),
+      {rm_id, std::string(to_string(accel::rm_id_to_kind(rm_id)))});
+  const Addr staging = soc::MemoryMap::kPbitStagingBase;
+  soc.ddr().poke(staging, pbit);
+  driver::ReconfigModule m{"", rm_id, staging,
+                           static_cast<u32>(pbit.size())};
+  const Status st = drv.init_reconfig_process(m, mode);
+  ReconfigResult r;
+  r.pbit_bytes = m.pbit_size;
+  r.td_us = drv.last_timing().decision_us();
+  r.tr_us = drv.last_timing().reconfig_us();
+  r.mbps = m.pbit_size / r.tr_us;
+  r.loaded = ok(st) &&
+             soc.config_memory().partition_state(soc.rp0_handle()).loaded;
+  return r;
+}
+
+/// Run the Listing-2 AXI_HWICAP flow with the given unroll factor on a
+/// bitstream already staged in DDR.
+inline ReconfigResult run_hwicap_reconfig(soc::ArianeSoc& soc,
+                                          driver::HwIcapDriver& drv,
+                                          u32 rm_id, u32 unroll) {
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(),
+      {rm_id, std::string(to_string(accel::rm_id_to_kind(rm_id)))});
+  const Addr staging = soc::MemoryMap::kPbitStagingBase;
+  soc.ddr().poke(staging, pbit);
+  driver::ReconfigModule m{"", rm_id, staging,
+                           static_cast<u32>(pbit.size())};
+  drv.set_unroll(unroll);
+  const Status st = drv.init_reconfig_process(m);
+  ReconfigResult r;
+  r.pbit_bytes = m.pbit_size;
+  r.tr_us = drv.last_timing().reconfig_us();
+  r.mbps = m.pbit_size / r.tr_us;
+  r.loaded = ok(st) &&
+             soc.config_memory().partition_state(soc.rp0_handle()).loaded;
+  return r;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_footnote() {
+  std::printf(
+      "\n(model) = measured on this reproduction's cycle-level simulation\n"
+      "(paper) = value reported by the RV-CAP paper for comparison\n"
+      "(lit.)  = value reported by the cited related work\n");
+}
+
+}  // namespace rvcap::bench

@@ -1,0 +1,53 @@
+// Golden (software) image filters and the shared per-row kernels.
+//
+// The case study (§IV-D) uses three HLS 3x3 filters — Sobel, Median,
+// Gaussian — on 512x512 8-bit grayscale images. The golden functions
+// here define the reference semantics (replicate borders); the
+// streaming RM models in stream_filter.* call the same row kernels, so
+// hardware output is bit-identical to software by construction and the
+// examples/tests can verify end-to-end data integrity.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rvcap::accel {
+
+enum class FilterKind : u8 { kSobel, kMedian, kGaussian };
+
+constexpr std::string_view to_string(FilterKind k) {
+  switch (k) {
+    case FilterKind::kSobel: return "Sobel";
+    case FilterKind::kMedian: return "Median";
+    case FilterKind::kGaussian: return "Gaussian";
+  }
+  return "?";
+}
+
+struct Image {
+  u32 width = 0;
+  u32 height = 0;
+  std::vector<u8> pixels;  // row-major, width*height
+
+  u8 at(u32 x, u32 y) const { return pixels[usize{y} * width + x]; }
+  bool operator==(const Image&) const = default;
+};
+
+/// Deterministic synthetic test image (gradients + seeded noise), the
+/// workload generator for the Table IV benches.
+Image make_test_image(u32 width, u32 height, u64 seed);
+
+/// Apply one filter row: out[x] for x in [0, width) computed from the
+/// three input rows (above/cur/below may alias at the borders —
+/// replicate semantics are the caller's responsibility).
+void filter_row(FilterKind kind, std::span<const u8> above,
+                std::span<const u8> cur, std::span<const u8> below,
+                std::span<u8> out);
+
+/// Full-image golden filters (replicate borders).
+Image apply_golden(FilterKind kind, const Image& in);
+
+}  // namespace rvcap::accel

@@ -1,0 +1,101 @@
+#include "accel/fir_filter.hpp"
+
+#include <algorithm>
+
+#include "accel/rm_slot.hpp"
+
+namespace rvcap::accel {
+
+std::vector<i16> fir_reference(std::span<const i16> samples,
+                               std::span<const i16> coeffs) {
+  std::vector<i16> out(samples.size());
+  for (usize n = 0; n < samples.size(); ++n) {
+    i64 acc = 0;
+    for (usize k = 0; k < coeffs.size(); ++k) {
+      const i64 x = (n >= k) ? samples[n - k] : 0;
+      acc += x * coeffs[k];
+    }
+    acc >>= 15;
+    out[n] = static_cast<i16>(std::clamp<i64>(acc, -32768, 32767));
+  }
+  return out;
+}
+
+std::array<i16, kFirTaps> fir_passthrough_coeffs() {
+  std::array<i16, kFirTaps> c{};
+  c[0] = 32767;  // ~1.0 in Q1.15
+  return c;
+}
+
+std::array<i16, kFirTaps> fir_lowpass_coeffs() {
+  // Symmetric moving-average-like smoother (sums to ~1.0 in Q1.15).
+  return {512,  1024, 1536, 2048, 2560, 3072, 3584, 4096,
+          4096, 3584, 3072, 2560, 2048, 1536, 1024, 512};
+}
+
+std::array<i16, kFirTaps> fir_highpass_coeffs() {
+  // Alternating-sign kernel: passes fast transitions, kills DC.
+  return {-512,  1024, -1536, 2048, -2560, 3072, -3584, 4096,
+          -4096, 3584, -3072, 2560, -2048, 1536, -1024, 512};
+}
+
+void FirFilter::reset() {
+  coeffs_ = fir_passthrough_coeffs();
+  delay_line_.fill(0);
+  samples_done_ = 0;
+}
+
+i16 FirFilter::step(i16 x) {
+  // Shift the delay line and accumulate (the synthesized core does
+  // this as a systolic MAC chain at II=1).
+  for (usize k = kFirTaps - 1; k > 0; --k) {
+    delay_line_[k] = delay_line_[k - 1];
+  }
+  delay_line_[0] = x;
+  i64 acc = 0;
+  for (usize k = 0; k < kFirTaps; ++k) {
+    acc += i64{delay_line_[k]} * coeffs_[k];
+  }
+  acc >>= 15;
+  ++samples_done_;
+  return static_cast<i16>(std::clamp<i64>(acc, -32768, 32767));
+}
+
+void FirFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+  if (!in.can_pop() || !out.can_push()) return;
+  const axi::AxisBeat b = *in.pop();
+  u64 result = 0;
+  for (u32 lane = 0; lane < 4; ++lane) {
+    const i16 x = static_cast<i16>((b.data >> (16 * lane)) & 0xFFFF);
+    const i16 y = step(x);
+    result |= (u64{static_cast<u16>(y)} << (16 * lane));
+  }
+  out.push(axi::AxisBeat{result, b.keep, b.last});
+  if (b.last) delay_line_.fill(0);  // packet boundary resets state
+}
+
+u32 FirFilter::reg_read(u32 index) {
+  if (index < kFirTaps / 2) {
+    const u16 lo = static_cast<u16>(coeffs_[2 * index]);
+    const u16 hi = static_cast<u16>(coeffs_[2 * index + 1]);
+    return (u32{hi} << 16) | lo;
+  }
+  if (index == 8) return static_cast<u32>(samples_done_);
+  if (index == 9) return kRmIdFir;
+  return 0;
+}
+
+void FirFilter::reg_write(u32 index, u32 value) {
+  if (index < kFirTaps / 2) {
+    coeffs_[2 * index] = static_cast<i16>(value & 0xFFFF);
+    coeffs_[2 * index + 1] = static_cast<i16>(value >> 16);
+    delay_line_.fill(0);  // coefficient swap restarts the filter
+  }
+}
+
+void register_fir(RmSlot& slot) {
+  slot.register_behavior(kRmIdFir,
+                         [] { return std::make_unique<FirFilter>(); });
+}
+
+}  // namespace rvcap::accel

@@ -1,0 +1,59 @@
+// Streaming FIR filter RM — the software-defined-radio module class.
+//
+// The paper's introduction motivates adaptive SoCs with domains like
+// software-defined radio (§II: "different applications can be
+// exchanged at runtime ... e.g. cyber-physical systems, software-
+// defined radio"). This module is a 16-tap FIR over signed 16-bit
+// samples, four samples per 64-bit AXI-Stream beat, with coefficients
+// programmed through the RM control registers — the classic SDR
+// channel-filter kernel.
+//
+// Arithmetic: y[n] = clamp_i16( (sum_k c[k] * x[n-k]) >> 15 ), i.e.
+// Q1.15 coefficients. A software reference (fir_reference) defines the
+// exact semantics; the streaming model is bit-identical by construction.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "accel/rm_behavior.hpp"
+
+namespace rvcap::accel {
+
+inline constexpr u32 kRmIdFir = 5;
+inline constexpr u32 kFirTaps = 16;
+
+/// Software reference over a full sample buffer (x[n<0] = 0).
+std::vector<i16> fir_reference(std::span<const i16> samples,
+                               std::span<const i16> coeffs);
+
+/// Common coefficient sets (Q1.15).
+std::array<i16, kFirTaps> fir_lowpass_coeffs();
+std::array<i16, kFirTaps> fir_highpass_coeffs();
+std::array<i16, kFirTaps> fir_passthrough_coeffs();
+
+class FirFilter final : public RmBehavior {
+ public:
+  FirFilter() { reset(); }
+
+  void tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
+  bool busy() const override { return false; }
+  void reset() override;
+
+  // regs 0..7: coefficient pairs (two i16 per register, low = even
+  // tap); reg 8: samples processed; reg 9: id tag.
+  u32 reg_read(u32 index) override;
+  void reg_write(u32 index, u32 value) override;
+
+ private:
+  i16 step(i16 x);
+
+  std::array<i16, kFirTaps> coeffs_{};
+  std::array<i16, kFirTaps> delay_line_{};
+  u64 samples_done_ = 0;
+};
+
+void register_fir(class RmSlot& slot);
+
+}  // namespace rvcap::accel

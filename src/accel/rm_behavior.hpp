@@ -1,0 +1,38 @@
+// Behavioural interface of a reconfigurable module.
+//
+// An RmBehavior is what the partial bitstream "configures into" the
+// partition: the RmSlot instantiates the behavior whose rm_id the
+// configuration memory reports and drives it with the RP's stream
+// endpoints each cycle.
+#pragma once
+
+#include <memory>
+
+#include "axi/types.hpp"
+#include "common/types.hpp"
+
+namespace rvcap::accel {
+
+class RmBehavior {
+ public:
+  virtual ~RmBehavior() = default;
+
+  /// Advance one cycle: consume from `in` / produce into `out`
+  /// (at most one beat each, like any 100 MHz stream stage).
+  virtual void tick(axi::AxisFifo& in, axi::AxisFifo& out) = 0;
+
+  virtual bool busy() const = 0;
+
+  /// Control registers forwarded by the RP control interface.
+  virtual u32 reg_read(u32 index) = 0;
+  virtual void reg_write(u32 index, u32 value) = 0;
+
+  /// Reset internal state (the slot calls this on (re)activation —
+  /// freshly configured logic comes up in its initial state).
+  virtual void reset() = 0;
+};
+
+/// Factory signature used by the RM registry.
+using RmFactory = std::unique_ptr<RmBehavior> (*)();
+
+}  // namespace rvcap::accel

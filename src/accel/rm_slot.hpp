@@ -1,0 +1,73 @@
+// RM slot: binds a reconfigurable partition's configuration state to a
+// live module behavior.
+//
+// Each cycle the slot polls the configuration memory: when a complete,
+// valid configuration pass activates rm_id X, the slot instantiates the
+// registered behavior for X (in reset state — fresh logic) and drives
+// it with the partition's stream endpoints. When the partition becomes
+// invalid (partial overwrite, CRC error), the module vanishes, exactly
+// as the fabric's logic would.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "accel/filters.hpp"
+#include "accel/rm_behavior.hpp"
+#include "fabric/config_memory.hpp"
+#include "rvcap/rp_control.hpp"
+#include "sim/component.hpp"
+
+namespace rvcap::accel {
+
+class RmSlot : public sim::Component, public rvcap_ctrl::RmRegisterFile {
+ public:
+  /// `in` is the stream into the partition (isolator's RP-side output);
+  /// the slot owns the RP-side output stream toward the isolator.
+  RmSlot(std::string name, fabric::ConfigMemory& cfg, usize partition_handle,
+         axi::AxisFifo& in);
+
+  /// Register the behavior configured by bitstreams carrying `rm_id`.
+  void register_behavior(u32 rm_id,
+                         std::function<std::unique_ptr<RmBehavior>()> make);
+
+  axi::AxisFifo& out() { return out_; }
+
+  /// Currently active module id (0 = partition empty/invalid).
+  u32 active_rm() const { return active_id_; }
+  RmBehavior* behavior() { return active_.get(); }
+  u64 activations() const { return activations_; }
+
+  void tick() override;
+  bool busy() const override;
+
+  // RmRegisterFile (forwarded by the RP control interface).
+  u32 rm_reg_read(u32 index) override;
+  void rm_reg_write(u32 index, u32 value) override;
+
+ private:
+  fabric::ConfigMemory& cfg_;
+  usize handle_;
+  axi::AxisFifo& in_;
+  axi::AxisFifo out_{4};
+  std::map<u32, std::function<std::unique_ptr<RmBehavior>()>> factories_;
+  std::unique_ptr<RmBehavior> active_;
+  u32 active_id_ = 0;
+  u64 active_load_count_ = 0;  // loads_completed at activation time
+  u64 activations_ = 0;
+};
+
+/// Canonical rm_ids of the case-study filters (§IV-D); the bitstream
+/// generator and the slot registry must agree on these.
+inline constexpr u32 kRmIdSobel = 1;
+inline constexpr u32 kRmIdMedian = 2;
+inline constexpr u32 kRmIdGaussian = 3;
+
+/// Register the three case-study filter behaviors on a slot.
+void register_case_study_filters(RmSlot& slot);
+
+FilterKind rm_id_to_kind(u32 rm_id);
+u32 kind_to_rm_id(FilterKind kind);
+
+}  // namespace rvcap::accel

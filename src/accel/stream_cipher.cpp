@@ -1,0 +1,58 @@
+#include "accel/stream_cipher.hpp"
+
+#include "accel/rm_slot.hpp"
+
+namespace rvcap::accel {
+
+void StreamCipher::reset() {
+  key_ = 0;
+  beat_index_ = 0;
+  beats_done_ = 0;
+}
+
+u64 StreamCipher::keystream(u64 key, u64 beat_index) {
+  // SplitMix-style mix of (key, index): deterministic, invertible-free,
+  // and trivially matched by a software reference.
+  u64 z = key + beat_index * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void StreamCipher::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+  // Full-rate: one beat per cycle, II=1.
+  if (!in.can_pop() || !out.can_push()) return;
+  const axi::AxisBeat b = *in.pop();
+  axi::AxisBeat o = b;
+  o.data ^= keystream(key_, beat_index_++);
+  out.push(o);
+  ++beats_done_;
+  if (b.last) beat_index_ = 0;  // keystream restarts per packet
+}
+
+u32 StreamCipher::reg_read(u32 index) {
+  switch (index) {
+    case 0: return static_cast<u32>(key_);
+    case 1: return static_cast<u32>(key_ >> 32);
+    case 2: return static_cast<u32>(beats_done_);
+    case 3: return kRmIdCipher;
+    default: return 0;
+  }
+}
+
+void StreamCipher::reg_write(u32 index, u32 value) {
+  if (index == 0) {
+    key_ = (key_ & ~u64{0xFFFFFFFF}) | value;
+    beat_index_ = 0;
+  } else if (index == 1) {
+    key_ = (key_ & 0xFFFFFFFF) | (u64{value} << 32);
+    beat_index_ = 0;
+  }
+}
+
+void register_cipher(RmSlot& slot) {
+  slot.register_behavior(kRmIdCipher,
+                         [] { return std::make_unique<StreamCipher>(); });
+}
+
+}  // namespace rvcap::accel

@@ -1,0 +1,43 @@
+// Stream-cipher RM — a non-image reconfigurable module.
+//
+// The paper's controller is filter-agnostic: any module with a 64-bit
+// AXI-Stream interface can live in the partition. This XOR-keystream
+// cipher (encrypt/decrypt are the same operation) demonstrates the
+// ecosystem beyond §IV-D's image filters and gives the multi-module
+// examples a second workload class. The keystream is a 64-bit LFSR
+// seeded through the RM control registers.
+#pragma once
+
+#include "accel/rm_behavior.hpp"
+
+namespace rvcap::accel {
+
+/// rm_id under which the cipher is registered with slots.
+inline constexpr u32 kRmIdCipher = 4;
+
+class StreamCipher final : public RmBehavior {
+ public:
+  StreamCipher() { reset(); }
+
+  void tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
+  bool busy() const override { return false; }
+  void reset() override;
+
+  // reg 0/1: key low/high, reg 2: beats processed, reg 3: id tag.
+  u32 reg_read(u32 index) override;
+  void reg_write(u32 index, u32 value) override;
+
+  /// Reference model: the keystream the hardware applies, for a given
+  /// key and beat index sequence (tests/golden).
+  static u64 keystream(u64 key, u64 beat_index);
+
+ private:
+  u64 key_ = 0;
+  u64 beat_index_ = 0;
+  u64 beats_done_ = 0;
+};
+
+/// Register the cipher on a slot (alongside the case-study filters).
+void register_cipher(class RmSlot& slot);
+
+}  // namespace rvcap::accel

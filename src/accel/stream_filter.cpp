@@ -1,0 +1,139 @@
+#include "accel/stream_filter.hpp"
+
+#include "common/log.hpp"
+
+namespace rvcap::accel {
+
+StreamFilterParams sobel_params() {
+  return StreamFilterParams{FilterKind::kSobel, 512, 512, 114, 150};
+}
+StreamFilterParams median_params() {
+  return StreamFilterParams{FilterKind::kMedian, 512, 512, 116, 180};
+}
+StreamFilterParams gaussian_params() {
+  return StreamFilterParams{FilterKind::kGaussian, 512, 512, 117, 250};
+}
+
+StreamFilter::StreamFilter(const StreamFilterParams& p) : p_(p) {
+  reset();
+}
+
+void StreamFilter::reset() {
+  width_ = p_.default_width;
+  height_ = p_.default_height;
+  for (auto& r : rows_) r.clear();
+  rows_valid_ = 0;
+  cur_row_.clear();
+  out_rows_emitted_ = 0;
+  out_bytes_.clear();
+  stall_acc_ = 0;
+  stall_pending_ = 0;
+  startup_remaining_ = p_.startup_latency;
+  out_beats_emitted_total_ = 0;
+}
+
+u32 StreamFilter::reg_read(u32 index) {
+  switch (index) {
+    case 0: return width_;
+    case 1: return height_;
+    case 2: return static_cast<u32>(frames_done_);
+    case 3: return static_cast<u32>(p_.kind);
+    default: return 0;
+  }
+}
+
+void StreamFilter::reg_write(u32 index, u32 value) {
+  // Geometry registers only take effect between frames, and widths
+  // must be whole beats (the HLS cores have the same restriction).
+  if (index == 0 && value >= 8 && value % 8 == 0 && rows_valid_ == 0) {
+    width_ = value;
+  } else if (index == 1 && value >= 1 && rows_valid_ == 0) {
+    height_ = value;
+  }
+}
+
+void StreamFilter::produce_output_row(u32 y) {
+  const auto row = [&](u32 yy) -> std::span<const u8> {
+    return rows_[yy % 3];
+  };
+  const u32 ya = (y == 0) ? 0 : y - 1;
+  const u32 yb = (y + 1 >= rows_valid_) ? rows_valid_ - 1 : y + 1;
+  std::vector<u8> out(width_);
+  filter_row(p_.kind, row(ya), row(y), row(yb), out);
+  out_bytes_.insert(out_bytes_.end(), out.begin(), out.end());
+  ++out_rows_emitted_;
+}
+
+void StreamFilter::accept_beat(u64 data) {
+  for (int i = 0; i < 8; ++i) {
+    cur_row_.push_back(static_cast<u8>(data >> (8 * i)));
+  }
+  if (cur_row_.size() < width_) return;
+
+  // Row complete: rotate into the ring.
+  const u32 k = rows_valid_;
+  rows_[k % 3] = std::move(cur_row_);
+  cur_row_.clear();
+  ++rows_valid_;
+
+  if (k >= 1) produce_output_row(k - 1);
+  if (k + 1 == height_) produce_output_row(k);  // bottom border row
+}
+
+void StreamFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+  // Input side: accept one beat per cycle while the output backlog is
+  // bounded (creates upstream back-pressure at the core's pace).
+  const bool frame_incomplete = rows_valid_ < height_;
+  if (frame_incomplete && out_bytes_.size() < usize{3} * width_ &&
+      in.can_pop()) {
+    accept_beat(in.pop()->data);
+  }
+
+  // Output side: pipeline fill, then paced beat emission.
+  if (startup_remaining_ > 0) {
+    --startup_remaining_;
+    return;
+  }
+  if (stall_pending_ > 0) {
+    --stall_pending_;
+    return;
+  }
+  if (out_bytes_.size() >= 8 && out.can_push()) {
+    u64 data = 0;
+    for (int i = 0; i < 8; ++i) {
+      data |= u64{out_bytes_.front()} << (8 * i);
+      out_bytes_.pop_front();
+    }
+    ++out_beats_emitted_total_;
+    const u64 frame_beats = (u64{width_} / 8) * height_;
+    const bool last =
+        (out_beats_emitted_total_ % frame_beats) == 0 && out_bytes_.empty() &&
+        rows_valid_ == height_;
+    out.push(axi::AxisBeat{data, 0xFF, last});
+    if (last) {
+      ++frames_done_;
+      // Ready for the next frame without reconfiguration.
+      rows_valid_ = 0;
+      out_rows_emitted_ = 0;
+      startup_remaining_ = p_.startup_latency;
+    }
+    // Pacing: spread (cycles_per_row - beats_per_row) stall cycles
+    // across the row's beats (Bresenham accumulation).
+    const u32 bpr = width_ / 8;
+    if (p_.cycles_per_row > bpr) {
+      const u32 extra = p_.cycles_per_row - bpr;
+      stall_pending_ += extra / bpr;
+      stall_acc_ += extra % bpr;
+      if (stall_acc_ >= bpr) {
+        ++stall_pending_;
+        stall_acc_ -= bpr;
+      }
+    }
+  }
+}
+
+bool StreamFilter::busy() const {
+  return rows_valid_ > 0 || !cur_row_.empty() || !out_bytes_.empty();
+}
+
+}  // namespace rvcap::accel

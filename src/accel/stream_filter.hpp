@@ -1,0 +1,76 @@
+// Streaming 3x3 filter RM — the HLS-generated hardware model.
+//
+// Structure of a Vivado-HLS window filter: a 64-bit AXI-Stream input
+// (8 pixels/beat), two line buffers, replicate borders, 64-bit output
+// stream. Output pacing models the synthesized core's throughput: each
+// output row of W/8 beats takes `cycles_per_row` cycles, the calibrated
+// initiation interval that reproduces Table IV's per-filter compute
+// times (Sobel 588 us < Median 598 us < Gaussian 606 us at 512x512):
+// the window datapaths differ (|Gx|+|Gy| vs 9-way median network vs
+// multiply-accumulate tree), giving each core a slightly different II.
+//
+// Functional output is computed with the same row kernels as the golden
+// software filters, so data is bit-identical end to end.
+#pragma once
+
+#include <deque>
+
+#include "accel/filters.hpp"
+#include "accel/rm_behavior.hpp"
+
+namespace rvcap::accel {
+
+struct StreamFilterParams {
+  FilterKind kind = FilterKind::kSobel;
+  u32 default_width = 512;
+  u32 default_height = 512;
+  /// Calibrated core II: cycles to produce one output row of width/8
+  /// beats (>= width/8; see Table IV calibration in DESIGN.md).
+  u32 cycles_per_row = 114;
+  /// Pipeline fill latency before the first output beat.
+  u32 startup_latency = 150;
+};
+
+/// Calibrated parameters of the three case-study filters.
+StreamFilterParams sobel_params();
+StreamFilterParams median_params();
+StreamFilterParams gaussian_params();
+
+class StreamFilter final : public RmBehavior {
+ public:
+  explicit StreamFilter(const StreamFilterParams& p);
+
+  void tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
+  bool busy() const override;
+  void reset() override;
+
+  // reg 0: width (pixels), reg 1: height, reg 2: frames completed,
+  // reg 3: filter kind id.
+  u32 reg_read(u32 index) override;
+  void reg_write(u32 index, u32 value) override;
+
+  u64 frames_completed() const { return frames_done_; }
+
+ private:
+  void accept_beat(u64 data);
+  void produce_output_row(u32 y);
+
+  StreamFilterParams p_;
+  u32 width_;
+  u32 height_;
+
+  std::vector<u8> rows_[3];     // ring of the last three complete rows
+  u32 rows_valid_ = 0;          // number of complete rows received
+  std::vector<u8> cur_row_;     // row being assembled from beats
+  u32 out_rows_emitted_ = 0;    // output rows queued so far
+  std::deque<u8> out_bytes_;    // bytes awaiting beat emission
+  u64 frames_done_ = 0;
+
+  // Output pacing (Bresenham over cycles_per_row / beats_per_row).
+  u32 stall_acc_ = 0;
+  u32 stall_pending_ = 0;
+  u32 startup_remaining_ = 0;
+  u64 out_beats_emitted_total_ = 0;
+};
+
+}  // namespace rvcap::accel

@@ -1,0 +1,175 @@
+#include "axi/crossbar.hpp"
+
+#include "common/log.hpp"
+
+namespace rvcap::axi {
+
+AxiCrossbar::AxiCrossbar(std::string name) : Component(std::move(name)) {}
+
+usize AxiCrossbar::add_manager(AxiPort* port) {
+  managers_.push_back(port);
+  active_writes_.emplace_back();
+  error_reads_.emplace_back();
+  pending_error_b_.push_back(0);
+  return managers_.size() - 1;
+}
+
+void AxiCrossbar::add_subordinate(const AddrRange& range, AxiPort* port) {
+  for (const auto& r : ranges_) {
+    if (r.overlaps(range)) {
+      throw std::invalid_argument("AxiCrossbar: overlapping address window");
+    }
+  }
+  ranges_.push_back(range);
+  subs_.push_back(port);
+  read_routes_.emplace_back();
+  write_routes_.emplace_back();
+}
+
+std::optional<usize> AxiCrossbar::decode(Addr a) const {
+  for (usize i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].contains(a)) return i;
+  }
+  return std::nullopt;
+}
+
+void AxiCrossbar::tick() {
+  // Response paths first so a beat freed this cycle can be refilled by
+  // the subordinate next cycle (keeps the pipe full at 1 beat/cycle).
+  return_r();
+  return_b();
+  drain_error_reads();
+  forward_w();
+  arbitrate_ar();
+  arbitrate_aw();
+}
+
+void AxiCrossbar::arbitrate_ar() {
+  const usize n = managers_.size();
+  for (usize k = 0; k < n; ++k) {
+    const usize m = (rr_ar_ + k) % n;
+    const AxiAr* ar = managers_[m]->ar.front();
+    if (ar == nullptr) continue;
+    auto sub = decode(ar->addr);
+    if (!sub) {
+      // Unmapped read: owe the manager len+1 DECERR beats.
+      ++decode_errors_;
+      log_warn("axi: decode error on read addr=0x", std::hex, ar->addr);
+      error_reads_[m].push_back(ErrorRead{u32{ar->len} + 1});
+      managers_[m]->ar.pop();
+      rr_ar_ = (m + 1) % n;
+      return;  // one AR accepted per cycle (shared decode stage)
+    }
+    if (!subs_[*sub]->ar.can_push()) continue;
+    subs_[*sub]->ar.push(*ar);
+    read_routes_[*sub].push_back(ReadRoute{m, u32{ar->len} + 1});
+    managers_[m]->ar.pop();
+    rr_ar_ = (m + 1) % n;
+    return;
+  }
+}
+
+void AxiCrossbar::arbitrate_aw() {
+  const usize n = managers_.size();
+  for (usize k = 0; k < n; ++k) {
+    const usize m = (rr_aw_ + k) % n;
+    if (active_writes_[m].has_value()) continue;  // burst in flight
+    const AxiAw* aw = managers_[m]->aw.front();
+    if (aw == nullptr) continue;
+    auto sub = decode(aw->addr);
+    if (!sub) {
+      ++decode_errors_;
+      log_warn("axi: decode error on write addr=0x", std::hex, aw->addr);
+      active_writes_[m] = ActiveWrite{0, u32{aw->len} + 1, true};
+      managers_[m]->aw.pop();
+      rr_aw_ = (m + 1) % n;
+      return;
+    }
+    if (!subs_[*sub]->aw.can_push()) continue;
+    subs_[*sub]->aw.push(*aw);
+    write_routes_[*sub].push_back(m);
+    active_writes_[m] = ActiveWrite{*sub, u32{aw->len} + 1, false};
+    managers_[m]->aw.pop();
+    rr_aw_ = (m + 1) % n;
+    return;
+  }
+}
+
+void AxiCrossbar::forward_w() {
+  for (usize m = 0; m < managers_.size(); ++m) {
+    auto& active = active_writes_[m];
+    if (!active.has_value()) continue;
+    const AxiW* w = managers_[m]->w.front();
+    if (w == nullptr) continue;
+    if (active->to_error_sink) {
+      managers_[m]->w.pop();
+      if (--active->beats_left == 0) {
+        ++pending_error_b_[m];
+        active.reset();
+      }
+      continue;
+    }
+    AxiPort* sub = subs_[active->sub];
+    if (!sub->w.can_push()) continue;
+    sub->w.push(*w);
+    managers_[m]->w.pop();
+    if (--active->beats_left == 0) active.reset();
+  }
+}
+
+void AxiCrossbar::return_r() {
+  for (usize s = 0; s < subs_.size(); ++s) {
+    if (read_routes_[s].empty()) continue;
+    const AxiR* r = subs_[s]->r.front();
+    if (r == nullptr) continue;
+    ReadRoute& route = read_routes_[s].front();
+    AxiPort* mgr = managers_[route.manager];
+    if (!mgr->r.can_push()) continue;
+    mgr->r.push(*r);
+    subs_[s]->r.pop();
+    if (--route.beats_left == 0 || r->last) read_routes_[s].pop_front();
+  }
+}
+
+void AxiCrossbar::return_b() {
+  for (usize s = 0; s < subs_.size(); ++s) {
+    if (write_routes_[s].empty()) continue;
+    const AxiB* b = subs_[s]->b.front();
+    if (b == nullptr) continue;
+    AxiPort* mgr = managers_[write_routes_[s].front()];
+    if (!mgr->b.can_push()) continue;
+    mgr->b.push(*b);
+    subs_[s]->b.pop();
+    write_routes_[s].pop_front();
+  }
+}
+
+void AxiCrossbar::drain_error_reads() {
+  for (usize m = 0; m < managers_.size(); ++m) {
+    if (pending_error_b_[m] > 0 && managers_[m]->b.can_push()) {
+      managers_[m]->b.push(AxiB{Resp::kDecErr});
+      --pending_error_b_[m];
+    }
+    if (error_reads_[m].empty()) continue;
+    ErrorRead& er = error_reads_[m].front();
+    if (!managers_[m]->r.can_push()) continue;
+    managers_[m]->r.push(AxiR{0, Resp::kDecErr, er.beats_left == 1});
+    if (--er.beats_left == 0) error_reads_[m].pop_front();
+  }
+}
+
+bool AxiCrossbar::busy() const {
+  for (const auto& q : read_routes_)
+    if (!q.empty()) return true;
+  for (const auto& q : write_routes_)
+    if (!q.empty()) return true;
+  for (const auto& a : active_writes_)
+    if (a.has_value()) return true;
+  for (const auto& q : error_reads_)
+    if (!q.empty()) return true;
+  for (u32 p : pending_error_b_)
+    if (p != 0) return true;
+  return false;
+}
+
+}  // namespace rvcap::axi

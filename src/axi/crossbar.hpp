@@ -1,0 +1,79 @@
+// 64-bit AXI-4 crossbar — the SoC's main interconnect (Fig. 1) and the
+// additional crossbar between the RV-CAP DMA and the DDR controller
+// (Fig. 2, component 1).
+//
+// Routing model: address-decoded, round-robin arbitration per cycle,
+// in-order per subordinate. Transaction origin is tracked with internal
+// route queues instead of AXI IDs; since every subordinate in the SoC
+// responds in order, this is behaviourally equivalent. Unmapped accesses
+// get DECERR responses, as the Xilinx crossbar does.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "sim/component.hpp"
+
+namespace rvcap::axi {
+
+class AxiCrossbar : public sim::Component {
+ public:
+  explicit AxiCrossbar(std::string name);
+
+  /// Register a manager-side link; returns the manager index.
+  usize add_manager(AxiPort* port);
+
+  /// Register a subordinate behind an address window.
+  /// Throws std::invalid_argument on overlapping windows.
+  void add_subordinate(const AddrRange& range, AxiPort* port);
+
+  void tick() override;
+  bool busy() const override;
+
+  /// Count of address-decode failures (DECERR responses generated).
+  u64 decode_errors() const { return decode_errors_; }
+
+ private:
+  struct ReadRoute {
+    usize manager;
+    u32 beats_left;
+  };
+  struct ActiveWrite {
+    usize sub;           // target subordinate index
+    u32 beats_left;      // W beats still to forward
+    bool to_error_sink;  // unmapped: swallow beats, answer DECERR
+  };
+  struct ErrorRead {
+    u32 beats_left;  // DECERR R beats still owed to the manager
+  };
+
+  std::optional<usize> decode(Addr a) const;
+  void arbitrate_ar();
+  void arbitrate_aw();
+  void forward_w();
+  void return_r();
+  void return_b();
+  void drain_error_reads();
+
+  std::vector<AxiPort*> managers_;
+  std::vector<AddrRange> ranges_;
+  std::vector<AxiPort*> subs_;
+
+  // Per-subordinate queues of outstanding transactions (oldest first).
+  std::vector<std::deque<ReadRoute>> read_routes_;
+  std::vector<std::deque<usize>> write_routes_;  // manager indices
+  // Per-manager in-progress write burst; AXI forbids interleaving W
+  // beats of different bursts from one manager, so one slot suffices.
+  std::vector<std::optional<ActiveWrite>> active_writes_;
+  std::vector<std::deque<ErrorRead>> error_reads_;   // per manager
+  std::vector<u32> pending_error_b_;                 // per manager
+
+  usize rr_ar_ = 0;  // round-robin pointers
+  usize rr_aw_ = 0;
+  u64 decode_errors_ = 0;
+};
+
+}  // namespace rvcap::axi

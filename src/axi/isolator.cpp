@@ -1,0 +1,30 @@
+#include "axi/isolator.hpp"
+
+namespace rvcap::axi {
+
+AxisIsolator::AxisIsolator(std::string name) : Component(std::move(name)) {}
+
+void AxisIsolator::tick() {
+  if (in_to_rp_.can_pop()) {
+    if (decoupled_) {
+      in_to_rp_.pop();
+      ++dropped_;
+    } else if (out_to_rp_.can_push()) {
+      out_to_rp_.push(*in_to_rp_.pop());
+    }
+  }
+  if (in_from_rp_.can_pop()) {
+    if (decoupled_) {
+      in_from_rp_.pop();
+      ++dropped_;
+    } else if (out_from_rp_.can_push()) {
+      out_from_rp_.push(*in_from_rp_.pop());
+    }
+  }
+}
+
+bool AxisIsolator::busy() const {
+  return in_to_rp_.can_pop() || in_from_rp_.can_pop();
+}
+
+}  // namespace rvcap::axi

@@ -1,0 +1,38 @@
+#include "axi/lite_slave.hpp"
+
+namespace rvcap::axi {
+
+AxiLiteSlave::AxiLiteSlave(std::string name, u32 response_latency)
+    : Component(std::move(name)), latency_(response_latency) {}
+
+void AxiLiteSlave::tick() {
+  device_tick();
+
+  if (const LiteAr* ar = port_.ar.front()) {
+    if (read_wait_ < latency_) {
+      ++read_wait_;
+    } else if (port_.r.can_push()) {
+      port_.r.push(LiteR{read_reg(ar->addr), Resp::kOkay});
+      port_.ar.pop();
+      read_wait_ = 0;
+    }
+  }
+
+  const LiteAw* aw = port_.aw.front();
+  const LiteW* w = port_.w.front();
+  if (aw != nullptr && w != nullptr) {
+    if (write_wait_ < latency_) {
+      ++write_wait_;
+    } else if (port_.b.can_push()) {
+      write_reg(aw->addr, w->data);
+      port_.aw.pop();
+      port_.w.pop();
+      port_.b.push(LiteB{Resp::kOkay});
+      write_wait_ = 0;
+    }
+  }
+}
+
+bool AxiLiteSlave::busy() const { return !port_.idle() || device_busy(); }
+
+}  // namespace rvcap::axi

@@ -1,0 +1,47 @@
+// Helper base for memory-mapped AXI4-Lite register blocks.
+//
+// CLINT, PLIC, SPI controller, the RV-CAP DMA register file, the RP
+// control interface, and the AXI_HWICAP all derive from this: they only
+// implement read_reg()/write_reg() on word offsets, and the base class
+// handles the channel handshakes with a configurable response latency
+// (register blocks in the real SoC answer in 1-2 cycles).
+#pragma once
+
+#include <deque>
+
+#include "axi/types.hpp"
+#include "sim/component.hpp"
+
+namespace rvcap::axi {
+
+class AxiLiteSlave : public sim::Component {
+ public:
+  AxiLiteSlave(std::string name, u32 response_latency = 1);
+
+  AxiLitePort& port() { return port_; }
+
+  void tick() override;
+  bool busy() const override;
+
+ protected:
+  /// Offset is relative to the device base (the crossbar routes by
+  /// window, devices see full addresses; subclasses mask as needed).
+  virtual u32 read_reg(Addr addr) = 0;
+  virtual void write_reg(Addr addr, u32 value) = 0;
+
+  /// Subclasses override to advance internal state each cycle.
+  virtual void device_tick() {}
+  virtual bool device_busy() const { return false; }
+
+ private:
+  struct Delayed {
+    u32 cycles_left;
+  };
+
+  AxiLitePort port_;
+  u32 latency_;
+  u32 read_wait_ = 0;   // cycles remaining before the head AR is served
+  u32 write_wait_ = 0;
+};
+
+}  // namespace rvcap::axi

@@ -1,0 +1,30 @@
+#include "axi/stream_switch.hpp"
+
+namespace rvcap::axi {
+
+AxisSwitch::AxisSwitch(std::string name) : Component(std::move(name)) {}
+
+void AxisSwitch::tick() {
+  // Forward path: one beat per cycle toward the selected sink.
+  if (from_dma_.can_pop()) {
+    AxisFifo& sink = select_icap_ ? to_icap_ : to_rm_;
+    if (sink.can_push()) sink.push(*from_dma_.pop());
+  }
+  // Return path: acceleration mode takes the RM output; in
+  // reconfiguration mode the S2MM side carries ICAP readback data and
+  // the RM output is parked (the RM is being swapped anyway).
+  if (select_icap_) {
+    if (from_icap_.can_pop() && to_dma_.can_push()) {
+      to_dma_.push(*from_icap_.pop());
+    }
+  } else if (from_rm_.can_pop() && to_dma_.can_push()) {
+    to_dma_.push(*from_rm_.pop());
+  }
+}
+
+bool AxisSwitch::busy() const {
+  return from_dma_.can_pop() || (!select_icap_ && from_rm_.can_pop()) ||
+         (select_icap_ && from_icap_.can_pop());
+}
+
+}  // namespace rvcap::axi

@@ -1,0 +1,43 @@
+// AXI-Stream switch (Fig. 2 component 4).
+//
+// Selects whether the RV-CAP controller operates in *reconfiguration
+// mode* (DMA read stream -> AXIS2ICAP -> ICAP) or *acceleration mode*
+// (DMA read stream -> reconfigurable module, RM output -> DMA write
+// stream). The select input is driven by the RP control interface's
+// select_ICAP register, exactly as in Listing 1.
+#pragma once
+
+#include "axi/types.hpp"
+#include "sim/component.hpp"
+
+namespace rvcap::axi {
+
+class AxisSwitch : public sim::Component {
+ public:
+  explicit AxisSwitch(std::string name);
+
+  /// true = reconfiguration mode (route to ICAP), false = acceleration.
+  void set_select_icap(bool s) { select_icap_ = s; }
+  bool select_icap() const { return select_icap_; }
+
+  AxisFifo& from_dma() { return from_dma_; }   // DMA MM2S output
+  AxisFifo& to_icap() { return to_icap_; }     // toward AXIS2ICAP
+  AxisFifo& to_rm() { return to_rm_; }         // toward the RM input
+  AxisFifo& from_rm() { return from_rm_; }     // RM output
+  AxisFifo& from_icap() { return from_icap_; } // ICAP2AXIS readback data
+  AxisFifo& to_dma() { return to_dma_; }       // DMA S2MM input
+
+  void tick() override;
+  bool busy() const override;
+
+ private:
+  bool select_icap_ = false;
+  AxisFifo from_dma_{4};
+  AxisFifo to_icap_{4};
+  AxisFifo to_rm_{4};
+  AxisFifo from_rm_{4};
+  AxisFifo from_icap_{4};
+  AxisFifo to_dma_{4};
+};
+
+}  // namespace rvcap::axi

@@ -1,0 +1,129 @@
+#include "axi/width_converter.hpp"
+
+namespace rvcap::axi {
+
+namespace {
+Resp worse(Resp a, Resp b) {
+  return static_cast<u8>(a) >= static_cast<u8>(b) ? a : b;
+}
+}  // namespace
+
+WidthConverter64To32::WidthConverter64To32(std::string name)
+    : Component(std::move(name)) {}
+
+void WidthConverter64To32::tick() {
+  // --- read request path: split one upstream AR into 1..2 downstream ARs.
+  if (const AxiAr* ar = up_.ar.front()) {
+    if (ar->len != 0) {
+      if (up_.r.can_push()) {
+        up_.r.push(AxiR{0, Resp::kSlvErr, true});
+        up_.ar.pop();
+      }
+    } else {
+      const u8 halves = (ar->size >= 3) ? 2 : 1;
+      if (down_.ar.vacancy() >= halves) {
+        const Addr base = ar->addr & ~Addr{7};
+        if (halves == 2) {
+          down_.ar.push(AxiAr{base, 0, 2});
+          down_.ar.push(AxiAr{base + 4, 0, 2});
+          reads_.push_back(PendingRead{base, 2, 2});
+        } else {
+          const Addr a = ar->addr & ~Addr{3};
+          down_.ar.push(AxiAr{a, 0, 2});
+          reads_.push_back(PendingRead{a, 1, 1});
+        }
+        up_.ar.pop();
+      }
+    }
+  }
+
+  // --- read response path: assemble downstream R halves into one beat.
+  if (const AxiR* r = down_.r.front()) {
+    PendingRead& p = reads_.front();
+    const u8 idx = p.halves_total - p.halves_left;  // 0 = first half
+    const bool high_lane =
+        (p.halves_total == 2) ? (idx == 1) : ((p.addr & 4) != 0);
+    p.assembled |= (r->data & 0xFFFFFFFFULL) << (high_lane ? 32 : 0);
+    p.worst = worse(p.worst, r->resp);
+    down_.r.pop();
+    if (--p.halves_left == 0) {
+      if (up_.r.can_push()) {
+        up_.r.push(AxiR{p.assembled, p.worst, true});
+        reads_.pop_front();
+      } else {
+        ++p.halves_left;  // retry the completion next cycle
+        p.assembled &= high_lane ? 0xFFFFFFFFULL : ~0xFFFFFFFFULL;
+      }
+    }
+  }
+
+  // --- write request path.
+  if (!aw_taken_) {
+    if (const AxiAw* aw = up_.aw.front()) {
+      if (aw->len != 0) {
+        if (up_.b.can_push()) {
+          up_.b.push(AxiB{Resp::kSlvErr});
+          up_.aw.pop();
+        }
+      } else {
+        cur_aw_ = *aw;
+        up_.aw.pop();
+        aw_taken_ = true;
+      }
+    }
+  }
+  if (aw_taken_) {
+    if (const AxiW* w = up_.w.front()) {
+      const bool lo = (w->strb & 0x0F) != 0;
+      const bool hi = (w->strb & 0xF0) != 0;
+      const u8 halves = static_cast<u8>(lo) + static_cast<u8>(hi);
+      if (halves == 0) {
+        // Strobe-less write: complete immediately with OKAY.
+        if (up_.b.can_push()) {
+          up_.b.push(AxiB{Resp::kOkay});
+          up_.w.pop();
+          aw_taken_ = false;
+        }
+      } else if (down_.aw.vacancy() >= halves && down_.w.vacancy() >= halves) {
+        const Addr base = cur_aw_.addr & ~Addr{7};
+        if (lo) {
+          down_.aw.push(AxiAw{base, 0, 2});
+          down_.w.push(AxiW{w->data & 0xFFFFFFFFULL,
+                            static_cast<u8>(w->strb & 0x0F), true});
+        }
+        if (hi) {
+          down_.aw.push(AxiAw{base + 4, 0, 2});
+          down_.w.push(
+              AxiW{(w->data >> 32) & 0xFFFFFFFFULL,
+                   static_cast<u8>((w->strb >> 4) & 0x0F), true});
+        }
+        writes_.push_back(PendingWrite{halves});
+        up_.w.pop();
+        aw_taken_ = false;
+      }
+    }
+  }
+
+  // --- write response path: merge downstream Bs.
+  if (const AxiB* b = down_.b.front()) {
+    PendingWrite& p = writes_.front();
+    p.worst = worse(p.worst, b->resp);
+    if (p.halves_left == 1) {
+      if (up_.b.can_push()) {
+        up_.b.push(AxiB{p.worst});
+        down_.b.pop();
+        writes_.pop_front();
+      }
+    } else {
+      --p.halves_left;
+      down_.b.pop();
+    }
+  }
+}
+
+bool WidthConverter64To32::busy() const {
+  return !reads_.empty() || !writes_.empty() || aw_taken_ || !up_.idle() ||
+         !down_.idle();
+}
+
+}  // namespace rvcap::axi

@@ -1,0 +1,80 @@
+#include "bitstream/compress.hpp"
+
+#include "common/bytes.hpp"
+
+namespace rvcap::bitstream {
+
+namespace {
+void push_word(std::vector<u8>* out, u32 w) {
+  const usize n = out->size();
+  out->resize(n + 4);
+  store_be32(std::span(*out).subspan(n, 4), w);
+}
+}  // namespace
+
+Status compress_bitstream(std::span<const u8> raw, std::vector<u8>* out) {
+  if (raw.size() % 4 != 0) return Status::kInvalidArgument;
+  out->clear();
+  const usize n_words = raw.size() / 4;
+  auto word = [&](usize i) { return load_be32(raw.subspan(i * 4, 4)); };
+
+  push_word(out, kCompressMagic);
+  usize i = 0;
+  while (i < n_words) {
+    if (word(i) == 0) {
+      usize j = i;
+      while (j < n_words && word(j) == 0 && (j - i) < kRunCountMask) ++j;
+      push_word(out, (kZeroTag << 28) | static_cast<u32>(j - i));
+      i = j;
+      continue;
+    }
+    // Literal run: until the next zero *pair* (single zeros inside
+    // literal data are cheaper inline than as a 1-word zero record).
+    usize j = i;
+    while (j < n_words && (j - i) < kRunCountMask) {
+      if (word(j) == 0 && (j + 1 == n_words || word(j + 1) == 0)) break;
+      ++j;
+    }
+    push_word(out, (u32{kLiteralTag} << 28) | static_cast<u32>(j - i));
+    for (usize k = i; k < j; ++k) push_word(out, word(k));
+    i = j;
+  }
+  // Pad to a whole 64-bit beat with an empty zero run.
+  if ((out->size() / 4) % 2 != 0) push_word(out, kZeroTag << 28);
+  return Status::kOk;
+}
+
+Status decompress_bitstream(std::span<const u8> compressed,
+                            std::vector<u8>* out) {
+  if (compressed.size() % 4 != 0 || compressed.size() < 4) {
+    return Status::kInvalidArgument;
+  }
+  out->clear();
+  const usize n_words = compressed.size() / 4;
+  auto word = [&](usize i) { return load_be32(compressed.subspan(i * 4, 4)); };
+  if (word(0) != kCompressMagic) return Status::kProtocolError;
+
+  usize i = 1;
+  while (i < n_words) {
+    const u32 hdr = word(i++);
+    const u32 tag = hdr >> 28;
+    const u32 count = hdr & kRunCountMask;
+    if (tag == kZeroTag) {
+      for (u32 k = 0; k < count; ++k) push_word(out, 0);
+    } else if (tag == kLiteralTag) {
+      if (i + count > n_words) return Status::kProtocolError;
+      for (u32 k = 0; k < count; ++k) push_word(out, word(i++));
+    } else {
+      return Status::kProtocolError;
+    }
+  }
+  return Status::kOk;
+}
+
+double compression_ratio(usize raw_bytes, usize compressed_bytes) {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(raw_bytes) / compressed_bytes;
+}
+
+}  // namespace rvcap::bitstream

@@ -1,0 +1,44 @@
+// Partial-bitstream compression (RT-ICAP-style extension, §II).
+//
+// The RT-ICAP related work compresses partial bitstreams before
+// transfer to cut storage and fetch bandwidth. This module implements a
+// hardware-friendly word-granular zero-run/literal-run codec:
+//
+//   word 0:      magic 0x52565A30 ("RVZ0")
+//   records:     0xA??????? -> the next (header & 0x0FFFFFFF) words are
+//                              literals
+//                0x5??????? -> emit (header & 0x0FFFFFFF) zero words
+//
+// The decoder is a trivial streaming state machine (implemented in
+// hardware by rvcap::rvcap_ctrl::Decompressor), so the decompressed
+// word stream entering the ICAP is byte-identical to the original
+// bitstream. Routing-dominated modules (sparse frames) compress ~5x;
+// dense logic is stored as literal runs with ~0.1% overhead.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace rvcap::bitstream {
+
+inline constexpr u32 kCompressMagic = 0x52565A30;  // "RVZ0"
+inline constexpr u32 kLiteralTag = 0xA;
+inline constexpr u32 kZeroTag = 0x5;
+inline constexpr u32 kRunCountMask = 0x0FFFFFFF;
+
+/// Compress a serialized bitstream (must be a whole number of words).
+/// The output is padded with a trailing zero-run to a 64-bit-beat
+/// multiple so the DMA can stream it directly.
+Status compress_bitstream(std::span<const u8> raw, std::vector<u8>* out);
+
+/// Host-side reference decoder (tests / tooling).
+Status decompress_bitstream(std::span<const u8> compressed,
+                            std::vector<u8>* out);
+
+/// Compression ratio achieved for a buffer (raw/compressed).
+double compression_ratio(usize raw_bytes, usize compressed_bytes);
+
+}  // namespace rvcap::bitstream

@@ -1,0 +1,61 @@
+#include "bitstream/generator.hpp"
+
+#include <cassert>
+
+namespace rvcap::bitstream {
+
+u32 payload_word(u32 rm_id, u32 frame_index, u32 word_index, FrameFill fill) {
+  if (fill == FrameFill::kSparse && (word_index % 16) != 0) return 0;
+  u64 z = (u64{rm_id} << 40) ^ (u64{frame_index} << 16) ^ word_index;
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<u32>(z ^ (z >> 31));
+}
+
+std::vector<u8> generate_partial_bitstream(const fabric::DeviceGeometry& dev,
+                                           const fabric::Partition& part,
+                                           const RmDescriptor& rm,
+                                           FrameFill fill) {
+  const auto& cols = part.columns();
+  const u32 total_frames = part.frame_count(dev);
+
+  std::vector<BitstreamWriter::Section> sections;
+  u32 frame_index = 0;
+  usize i = 0;
+  while (i < cols.size()) {
+    // Collect one contiguous column range.
+    usize j = i + 1;
+    while (j < cols.size() && cols[j].row == cols[j - 1].row &&
+           cols[j].column == cols[j - 1].column + 1) {
+      ++j;
+    }
+    BitstreamWriter::Section sec;
+    sec.start = fabric::FrameAddr{cols[i].row, cols[i].column, 0};
+    for (usize c = i; c < j; ++c) {
+      const u32 frames = dev.frames_in_column(cols[c].column);
+      for (u32 f = 0; f < frames; ++f, ++frame_index) {
+        for (u32 wi = 0; wi < fabric::kFrameWords; ++wi) {
+          sec.frame_words.push_back(
+              payload_word(rm.rm_id, frame_index, wi, fill));
+        }
+        if (frame_index == 0) {
+          // Manifest lives in the first 4 words of the first frame.
+          fabric::RmManifest m{rm.rm_id, total_frames};
+          const usize base = sec.frame_words.size() - fabric::kFrameWords;
+          m.encode(std::span(sec.frame_words).subspan(base, 4));
+        }
+      }
+    }
+    sections.push_back(std::move(sec));
+    i = j;
+  }
+
+  const BitstreamWriter writer;
+  const std::vector<u32> words = writer.build(sections);
+  std::vector<u8> bytes = BitstreamWriter::to_bytes(words);
+  assert(bytes.size() == part.pbit_bytes(dev));
+  return bytes;
+}
+
+}  // namespace rvcap::bitstream

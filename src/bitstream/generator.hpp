@@ -1,0 +1,39 @@
+// Partial-bitstream generator: (device, partition, module) -> bytes.
+//
+// Stand-in for the Vivado synthesis/implementation/write_bitstream flow
+// of the paper's §IV-A. Frame payloads are deterministic: the first
+// frame carries the RmManifest that the configuration memory decodes to
+// activate the module; the remaining words are a seeded hash of
+// (rm_id, frame index, word index) so corruption anywhere is visible
+// and compression experiments see realistic (incompressible) content
+// unless `fill` requests sparse frames.
+#pragma once
+
+#include <vector>
+
+#include "bitstream/writer.hpp"
+#include "fabric/config_memory.hpp"
+#include "fabric/geometry.hpp"
+
+namespace rvcap::bitstream {
+
+struct RmDescriptor {
+  u32 rm_id = 0;
+  std::string name;
+};
+
+enum class FrameFill : u8 {
+  kHashed,  // pseudo-random payload (default; incompressible)
+  kSparse,  // mostly zero words (routing-dominated module; compressible)
+};
+
+/// Generate the serialized partial bitstream configuring `part` with
+/// the module `rm`.
+std::vector<u8> generate_partial_bitstream(
+    const fabric::DeviceGeometry& dev, const fabric::Partition& part,
+    const RmDescriptor& rm, FrameFill fill = FrameFill::kHashed);
+
+/// The word a generated bitstream stores at (frame_index, word_index).
+u32 payload_word(u32 rm_id, u32 frame_index, u32 word_index, FrameFill fill);
+
+}  // namespace rvcap::bitstream

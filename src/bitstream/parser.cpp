@@ -1,0 +1,98 @@
+#include "bitstream/parser.hpp"
+
+#include "common/bytes.hpp"
+
+namespace rvcap::bitstream {
+
+Status parse_bitstream(std::span<const u8> bytes, ParsedBitstream* out) {
+  *out = ParsedBitstream{};
+  if (bytes.size() % 4 != 0) return Status::kProtocolError;
+  const u32 n = static_cast<u32>(bytes.size() / 4);
+  out->total_words = n;
+
+  auto word = [&](u32 i) { return load_be32(bytes.subspan(usize{i} * 4, 4)); };
+
+  // Hunt for the sync word.
+  u32 i = 0;
+  while (i < n && word(i) != kSyncWord) ++i;
+  if (i == n) return Status::kProtocolError;
+  out->saw_sync = true;
+  ++i;
+
+  ConfigCrc crc;
+  bool crc_ok = true;
+  u32 far = 0;
+  bool counting_section = false;
+
+  while (i < n) {
+    const u32 w = word(i++);
+    const PacketHeader h = decode_packet(w);
+    if (h.type != 1) return Status::kProtocolError;  // stray word
+    if (h.op == PacketOp::kNop) continue;
+    if (h.op != PacketOp::kWrite) return Status::kProtocolError;
+
+    u32 reg = h.reg;
+    u32 count = h.count;
+    if (reg == static_cast<u32>(ConfigReg::kFdri) && count == 0) {
+      // Type-2 extension follows.
+      if (i >= n) return Status::kProtocolError;
+      const PacketHeader h2 = decode_packet(word(i++));
+      if (h2.type != 2 || h2.op != PacketOp::kWrite) {
+        return Status::kProtocolError;
+      }
+      count = h2.count;
+    }
+
+    for (u32 k = 0; k < count; ++k) {
+      if (i >= n) return Status::kProtocolError;
+      const u32 data = word(i++);
+      switch (static_cast<ConfigReg>(reg)) {
+        case ConfigReg::kCrc:
+          out->crc_present = true;
+          if (data != crc.value()) crc_ok = false;
+          crc.reset();
+          break;
+        case ConfigReg::kFar:
+          far = data;
+          crc.update(reg, data);
+          counting_section = false;
+          break;
+        case ConfigReg::kFdri:
+          if (!counting_section) {
+            out->sections.push_back(
+                ParsedSection{fabric::FrameAddr::decode(far), 0});
+            counting_section = true;
+          }
+          crc.update(reg, data);
+          ++out->payload_words;
+          break;
+        case ConfigReg::kIdcode:
+          out->idcode = data;
+          crc.update(reg, data);
+          break;
+        case ConfigReg::kCmd:
+          crc.update(reg, data);
+          if (static_cast<Cmd>(data) == Cmd::kRcrc) crc.reset();
+          if (static_cast<Cmd>(data) == Cmd::kDesync) {
+            out->saw_desync = true;
+            i = n;  // stop: trailing NOPs only
+          }
+          break;
+        default:
+          crc.update(reg, data);
+          break;
+      }
+    }
+    // Close FDRI sections and convert payload to frames.
+    if (static_cast<ConfigReg>(reg) == ConfigReg::kFdri && count > 0) {
+      if (count % fabric::kFrameWords != 0) return Status::kProtocolError;
+      out->sections.back().frame_count = count / fabric::kFrameWords;
+      counting_section = false;
+    }
+  }
+
+  out->crc_ok = out->crc_present && crc_ok;
+  return out->saw_desync ? Status::kOk : Status::kProtocolError;
+}
+
+}  // namespace rvcap::bitstream

@@ -1,0 +1,38 @@
+// Host-side partial-bitstream parser/validator.
+//
+// Independent reimplementation of the packet walk (the ICAP component
+// is the cycle-accurate consumer; this parser is the offline validator
+// the test-suite and the examples use to inspect generated files).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bitstream/packets.hpp"
+#include "common/status.hpp"
+#include "fabric/geometry.hpp"
+
+namespace rvcap::bitstream {
+
+struct ParsedSection {
+  fabric::FrameAddr start;
+  u32 frame_count = 0;
+};
+
+struct ParsedBitstream {
+  u32 idcode = 0;
+  bool saw_sync = false;
+  bool saw_desync = false;
+  bool crc_present = false;
+  bool crc_ok = false;
+  u32 total_words = 0;
+  u32 payload_words = 0;
+  std::vector<ParsedSection> sections;
+};
+
+/// Parse a serialized bitstream. Returns kProtocolError for malformed
+/// framing; CRC mismatches are reported in the result, not as a status
+/// (the file is structurally valid, just corrupt).
+Status parse_bitstream(std::span<const u8> bytes, ParsedBitstream* out);
+
+}  // namespace rvcap::bitstream

@@ -1,0 +1,46 @@
+#include "bitstream/readback.hpp"
+
+#include "bitstream/writer.hpp"
+
+namespace rvcap::bitstream {
+
+std::vector<u32> build_readback_request(const fabric::FrameAddr& start,
+                                        u32 words) {
+  std::vector<u32> w;
+  w.push_back(kDummyWord);
+  w.push_back(kBusWidthSync);
+  w.push_back(kBusWidthDetect);
+  w.push_back(kDummyWord);
+  w.push_back(kSyncWord);
+  w.push_back(kNop);
+  w.push_back(type1(PacketOp::kWrite, ConfigReg::kCmd, 1));
+  w.push_back(static_cast<u32>(Cmd::kRcfg));
+  w.push_back(kNop);
+  w.push_back(type1(PacketOp::kWrite, ConfigReg::kFar, 1));
+  w.push_back(start.encode());
+  w.push_back(type1(PacketOp::kRead, ConfigReg::kFdro, 0));
+  w.push_back(type2(PacketOp::kRead, words));
+  return w;
+}
+
+std::vector<u32> build_readback_trailer() {
+  return {kNop, type1(PacketOp::kWrite, ConfigReg::kCmd, 1),
+          static_cast<u32>(Cmd::kDesync), kNop};
+}
+
+std::vector<u32> build_readback_sequence(const fabric::FrameAddr& start,
+                                         u32 words) {
+  std::vector<u32> w = build_readback_request(start, words);
+  const std::vector<u32> tail = build_readback_trailer();
+  w.insert(w.end(), tail.begin(), tail.end());
+  return w;
+}
+
+std::vector<u8> build_readback_bytes(const fabric::FrameAddr& start,
+                                     u32 words) {
+  std::vector<u32> seq = build_readback_sequence(start, words);
+  while (seq.size() % 2 != 0) seq.push_back(kNop);  // whole 64-bit beats
+  return BitstreamWriter::to_bytes(seq);
+}
+
+}  // namespace rvcap::bitstream

@@ -1,0 +1,36 @@
+// Readback command-sequence builder.
+//
+// To read configuration memory through the ICAP, software streams a
+// short command sequence into the port (sync, RCFG, FAR, a type-1/2
+// FDRO *read* request) and then drains the requested words from the
+// read side. RV-CAP does this with one small MM2S transfer followed by
+// an S2MM capture; the AXI_HWICAP does it through its read FIFO. Both
+// consume sequences built here.
+#pragma once
+
+#include <vector>
+
+#include "bitstream/packets.hpp"
+#include "fabric/geometry.hpp"
+
+namespace rvcap::bitstream {
+
+/// Request half: sync .. FDRO read request. The port turns around
+/// after the last word; the keyhole driver must stop writing here.
+std::vector<u32> build_readback_request(const fabric::FrameAddr& start,
+                                        u32 words);
+
+/// Trailer written after the read has drained: NOP, DESYNC, NOP.
+std::vector<u32> build_readback_trailer();
+
+/// Full sequence (request + trailer) — suitable for the DMA path,
+/// where the S2MM capture drains the port concurrently.
+std::vector<u32> build_readback_sequence(const fabric::FrameAddr& start,
+                                         u32 words);
+
+/// Serialized (byte) form, padded to a whole number of 64-bit beats so
+/// the DMA can stream it directly.
+std::vector<u8> build_readback_bytes(const fabric::FrameAddr& start,
+                                     u32 words);
+
+}  // namespace rvcap::bitstream

@@ -1,0 +1,129 @@
+#include "bitstream/relocate.hpp"
+
+#include <map>
+
+#include "bitstream/packets.hpp"
+#include "bitstream/writer.hpp"
+#include "common/bytes.hpp"
+
+namespace rvcap::bitstream {
+
+bool partitions_compatible(const fabric::DeviceGeometry& dev,
+                           const fabric::Partition& from,
+                           const fabric::Partition& to) {
+  const auto& a = from.columns();
+  const auto& b = to.columns();
+  if (a.size() != b.size()) return false;
+  for (usize i = 0; i < a.size(); ++i) {
+    if (dev.column(a[i].column) != dev.column(b[i].column)) return false;
+    // Contiguity structure must match too, or the per-range FAR/FDRI
+    // sections would not line up.
+    if (i > 0) {
+      const bool cont_a = a[i].row == a[i - 1].row &&
+                          a[i].column == a[i - 1].column + 1;
+      const bool cont_b = b[i].row == b[i - 1].row &&
+                          b[i].column == b[i - 1].column + 1;
+      if (cont_a != cont_b) return false;
+    }
+  }
+  return true;
+}
+
+Status relocate_bitstream(const fabric::DeviceGeometry& dev,
+                          const fabric::Partition& from,
+                          const fabric::Partition& to,
+                          std::span<const u8> pbit, std::vector<u8>* out) {
+  if (!partitions_compatible(dev, from, to)) return Status::kInvalidArgument;
+  if (pbit.size() % 4 != 0) return Status::kProtocolError;
+
+  // Map each of `from`'s range-start FARs to `to`'s.
+  std::map<u32, u32> far_map;
+  {
+    const auto& a = from.columns();
+    const auto& b = to.columns();
+    for (usize i = 0; i < a.size(); ++i) {
+      const bool range_start =
+          i == 0 || a[i].row != a[i - 1].row ||
+          a[i].column != a[i - 1].column + 1;
+      if (range_start) {
+        far_map[fabric::FrameAddr{a[i].row, a[i].column, 0}.encode()] =
+            fabric::FrameAddr{b[i].row, b[i].column, 0}.encode();
+      }
+    }
+  }
+
+  const usize n_words = pbit.size() / 4;
+  auto word = [&](usize i) { return load_be32(pbit.subspan(i * 4, 4)); };
+  std::vector<u32> result;
+  result.reserve(n_words);
+
+  // Walk the packet stream like the device does, rewriting FAR data
+  // words and regenerating CRC checkpoints along the way.
+  usize i = 0;
+  while (i < n_words && word(i) != kSyncWord) result.push_back(word(i++));
+  if (i == n_words) return Status::kProtocolError;
+  result.push_back(word(i++));  // sync
+
+  ConfigCrc crc;
+  while (i < n_words) {
+    const u32 w = word(i);
+    const PacketHeader h = decode_packet(w);
+    if (h.type != 1) return Status::kProtocolError;
+    if (h.op != PacketOp::kWrite || h.count == 0) {
+      result.push_back(w);  // NOPs, reads, zero-count headers
+      ++i;
+      // A zero-count FDRI write is followed by a type-2 header whose
+      // payload we stream through below.
+      u32 count = 0;
+      u32 reg = h.reg;
+      if (h.op == PacketOp::kWrite &&
+          reg == static_cast<u32>(ConfigReg::kFdri) && i < n_words) {
+        const PacketHeader h2 = decode_packet(word(i));
+        if (h2.type == 2 && h2.op == PacketOp::kWrite) {
+          result.push_back(word(i++));
+          count = h2.count;
+        }
+      }
+      for (u32 k = 0; k < count; ++k) {
+        if (i >= n_words) return Status::kProtocolError;
+        const u32 data = word(i++);
+        crc.update(reg, data);
+        result.push_back(data);
+      }
+      continue;
+    }
+
+    // Type-1 write with inline payload.
+    result.push_back(w);
+    ++i;
+    for (u32 k = 0; k < h.count; ++k) {
+      if (i >= n_words) return Status::kProtocolError;
+      u32 data = word(i++);
+      switch (static_cast<ConfigReg>(h.reg)) {
+        case ConfigReg::kFar: {
+          const auto it = far_map.find(data);
+          if (it != far_map.end()) data = it->second;
+          crc.update(h.reg, data);
+          break;
+        }
+        case ConfigReg::kCrc:
+          data = crc.value();  // recompute the checkpoint
+          crc.reset();
+          break;
+        case ConfigReg::kCmd:
+          crc.update(h.reg, data);
+          if (static_cast<Cmd>(data) == Cmd::kRcrc) crc.reset();
+          break;
+        default:
+          crc.update(h.reg, data);
+          break;
+      }
+      result.push_back(data);
+    }
+  }
+
+  *out = BitstreamWriter::to_bytes(result);
+  return Status::kOk;
+}
+
+}  // namespace rvcap::bitstream

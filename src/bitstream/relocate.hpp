@@ -1,0 +1,36 @@
+// Partial-bitstream relocation.
+//
+// Two partitions with identical column-type footprints host the same
+// logic; a module synthesized for one can be moved to the other by
+// rewriting the frame addresses in its bitstream (and the CRC words
+// that depend on them) — a classic DPR technique that avoids
+// re-implementing per partition. The multi-partition scheduler uses
+// this to instantiate one synthesized module in whichever compatible
+// partition is free.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fabric/geometry.hpp"
+
+namespace rvcap::bitstream {
+
+/// True when `to` can host any module implemented for `from`: the same
+/// sequence of column types (and therefore per-range frame counts).
+bool partitions_compatible(const fabric::DeviceGeometry& dev,
+                           const fabric::Partition& from,
+                           const fabric::Partition& to);
+
+/// Rewrite `pbit` (implemented for `from`) to configure `to` instead.
+/// FAR writes are retargeted range-by-range and both CRC checkpoints
+/// are recomputed; everything else is copied verbatim, so the loaded
+/// module is bit-identical. Returns kInvalidArgument for incompatible
+/// partitions and kProtocolError for malformed bitstreams.
+Status relocate_bitstream(const fabric::DeviceGeometry& dev,
+                          const fabric::Partition& from,
+                          const fabric::Partition& to,
+                          std::span<const u8> pbit, std::vector<u8>* out);
+
+}  // namespace rvcap::bitstream

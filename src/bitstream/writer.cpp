@@ -1,0 +1,80 @@
+#include "bitstream/writer.hpp"
+
+#include "common/bytes.hpp"
+#include "fabric/pbit_layout.hpp"
+
+namespace rvcap::bitstream {
+
+std::vector<u32> BitstreamWriter::build(
+    std::span<const Section> sections) const {
+  std::vector<u32> w;
+  ConfigCrc crc;
+
+  auto t1_write = [&](ConfigReg reg, u32 data) {
+    w.push_back(type1(PacketOp::kWrite, reg, 1));
+    w.push_back(data);
+    if (reg != ConfigReg::kCrc) {
+      crc.update(static_cast<u32>(reg), data);
+    }
+  };
+  auto cmd = [&](Cmd c) { t1_write(ConfigReg::kCmd, static_cast<u32>(c)); };
+  // A matching CRC-register write resets the device's running CRC, so
+  // the writer mirrors that to stay in lockstep for the second check.
+  auto write_crc = [&] {
+    t1_write(ConfigReg::kCrc, crc.value());
+    crc.reset();
+  };
+  auto nops = [&](u32 n) {
+    for (u32 i = 0; i < n; ++i) w.push_back(kNop);
+  };
+
+  // ---- prologue: 23 words -------------------------------------------------
+  for (int i = 0; i < 8; ++i) w.push_back(kDummyWord);
+  w.push_back(kBusWidthSync);
+  w.push_back(kBusWidthDetect);
+  w.push_back(kDummyWord);
+  w.push_back(kDummyWord);
+  w.push_back(kSyncWord);
+  w.push_back(kNop);
+  cmd(Cmd::kRcrc);
+  crc.reset();  // RCRC zeroes the running CRC on the device too
+  nops(2);
+  t1_write(ConfigReg::kIdcode, idcode_);
+  cmd(Cmd::kWcfg);
+  w.push_back(kNop);
+
+  // ---- per-range FAR + FDRI ----------------------------------------------
+  for (const Section& s : sections) {
+    t1_write(ConfigReg::kFar, s.start.encode());
+    w.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
+    w.push_back(
+        type2(PacketOp::kWrite, static_cast<u32>(s.frame_words.size())));
+    for (u32 word : s.frame_words) {
+      w.push_back(word);
+      crc.update(static_cast<u32>(ConfigReg::kFdri), word);
+    }
+  }
+
+  // ---- epilogue: 86 words (16 meaningful + 70 NOP flush padding) ----------
+  write_crc();
+  nops(2);
+  cmd(Cmd::kGrestore);
+  cmd(Cmd::kLfrm);
+  cmd(Cmd::kStart);
+  t1_write(ConfigReg::kFar, fabric::FrameAddr{0, 0, 0}.encode());
+  write_crc();
+  cmd(Cmd::kDesync);
+  nops(70);
+
+  return w;
+}
+
+std::vector<u8> BitstreamWriter::to_bytes(std::span<const u32> words) {
+  std::vector<u8> bytes(words.size() * 4);
+  for (usize i = 0; i < words.size(); ++i) {
+    store_be32(std::span(bytes).subspan(i * 4, 4), words[i]);
+  }
+  return bytes;
+}
+
+}  // namespace rvcap::bitstream

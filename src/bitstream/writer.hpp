@@ -1,0 +1,41 @@
+// Partial-bitstream writer — the reproduction's stand-in for the Vivado
+// write_bitstream step.
+//
+// Produces the word sequence a 7-series partial bitstream carries:
+// dummy/bus-width/sync framing, RCRC, IDCODE, WCFG, one FAR+FDRI
+// section per contiguous column range, frame payload, CRC, GRESTORE /
+// DGHIGH / START, a final CRC and DESYNC, NOP-padded so the control
+// overhead is exactly fabric::kPbitFixedControlWords +
+// kPbitWordsPerRange per range (tests assert byte-for-byte size
+// agreement with Partition::pbit_bytes()).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bitstream/packets.hpp"
+#include "fabric/geometry.hpp"
+
+namespace rvcap::bitstream {
+
+class BitstreamWriter {
+ public:
+  explicit BitstreamWriter(u32 idcode = kIdCode) : idcode_(idcode) {}
+
+  /// A contiguous run of columns in one row plus its frame payload.
+  struct Section {
+    fabric::FrameAddr start;
+    std::vector<u32> frame_words;  // multiple of kFrameWords
+  };
+
+  /// Build the full word stream for the given sections.
+  std::vector<u32> build(std::span<const Section> sections) const;
+
+  /// Serialize words big-endian (configuration byte order).
+  static std::vector<u8> to_bytes(std::span<const u32> words);
+
+ private:
+  u32 idcode_;
+};
+
+}  // namespace rvcap::bitstream

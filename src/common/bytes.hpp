@@ -1,0 +1,64 @@
+// Little-endian byte (un)packing helpers.
+//
+// The SoC bus, DDR model, FAT32 on-disk structures, and DMA descriptors
+// are all little-endian (RISC-V and FAT are LE); bitstream *packets* are
+// big-endian 32-bit words per the Xilinx configuration-format convention
+// and use the _be variants.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace rvcap {
+
+inline u16 load_le16(std::span<const u8> b) {
+  return static_cast<u16>(b[0] | (u16{b[1]} << 8));
+}
+
+inline u32 load_le32(std::span<const u8> b) {
+  return u32{b[0]} | (u32{b[1]} << 8) | (u32{b[2]} << 16) | (u32{b[3]} << 24);
+}
+
+inline u64 load_le64(std::span<const u8> b) {
+  return u64{load_le32(b)} | (u64{load_le32(b.subspan(4))} << 32);
+}
+
+inline void store_le16(std::span<u8> b, u16 v) {
+  b[0] = static_cast<u8>(v);
+  b[1] = static_cast<u8>(v >> 8);
+}
+
+inline void store_le32(std::span<u8> b, u32 v) {
+  b[0] = static_cast<u8>(v);
+  b[1] = static_cast<u8>(v >> 8);
+  b[2] = static_cast<u8>(v >> 16);
+  b[3] = static_cast<u8>(v >> 24);
+}
+
+inline void store_le64(std::span<u8> b, u64 v) {
+  store_le32(b, static_cast<u32>(v));
+  store_le32(b.subspan(4), static_cast<u32>(v >> 32));
+}
+
+inline u32 load_be32(std::span<const u8> b) {
+  return (u32{b[0]} << 24) | (u32{b[1]} << 16) | (u32{b[2]} << 8) | u32{b[3]};
+}
+
+inline void store_be32(std::span<u8> b, u32 v) {
+  b[0] = static_cast<u8>(v >> 24);
+  b[1] = static_cast<u8>(v >> 16);
+  b[2] = static_cast<u8>(v >> 8);
+  b[3] = static_cast<u8>(v);
+}
+
+/// Extract bit field [lo, lo+width) from a word.
+inline constexpr u32 bits(u32 v, unsigned lo, unsigned width) {
+  return (v >> lo) & ((width >= 32) ? ~u32{0} : ((u32{1} << width) - 1));
+}
+
+inline constexpr u64 bits64(u64 v, unsigned lo, unsigned width) {
+  return (v >> lo) & ((width >= 64) ? ~u64{0} : ((u64{1} << width) - 1));
+}
+
+}  // namespace rvcap

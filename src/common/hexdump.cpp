@@ -1,0 +1,34 @@
+#include "common/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace rvcap {
+
+std::string hexdump(std::span<const u8> data, Addr base) {
+  std::string out;
+  char line[96];
+  for (usize off = 0; off < data.size(); off += 16) {
+    int n = std::snprintf(line, sizeof line, "%08llx  ",
+                          static_cast<unsigned long long>(base + off));
+    out.append(line, static_cast<usize>(n));
+    for (usize i = 0; i < 16; ++i) {
+      if (off + i < data.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", data[off + i]);
+        out.append(line, static_cast<usize>(n));
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (usize i = 0; i < 16 && off + i < data.size(); ++i) {
+      const u8 c = data[off + i];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+}  // namespace rvcap

@@ -1,0 +1,14 @@
+// Hexdump formatting for debug output and golden-file comparison in tests.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rvcap {
+
+/// Classic 16-bytes-per-line hexdump with ASCII gutter.
+std::string hexdump(std::span<const u8> data, Addr base = 0);
+
+}  // namespace rvcap

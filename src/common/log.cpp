@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace rvcap {
+namespace log_detail {
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, std::string_view msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace log_detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel prev = log_detail::global_level();
+  log_detail::global_level() = level;
+  return prev;
+}
+
+LogLevel get_log_level() { return log_detail::global_level(); }
+
+}  // namespace rvcap

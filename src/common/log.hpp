@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// Simulation components log through this instead of std::cerr directly so
+// tests can silence or capture output. Not thread-safe by design: the
+// simulation kernel is single-threaded (benchmark fan-out happens at the
+// process level).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rvcap {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+LogLevel& global_level();
+void emit(LogLevel level, std::string_view msg);
+}  // namespace log_detail
+
+/// Set the global log threshold; returns the previous value.
+LogLevel set_log_level(LogLevel level);
+LogLevel get_log_level();
+
+/// RAII guard that silences logging for a scope (used by tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : prev_(set_log_level(level)) {}
+  ~ScopedLogLevel() { set_log_level(prev_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < log_detail::global_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_detail::emit(level, oss.str());
+}
+
+template <typename... Args>
+void log_trace(Args&&... args) { log_at(LogLevel::kTrace, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_debug(Args&&... args) { log_at(LogLevel::kDebug, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_info(Args&&... args) { log_at(LogLevel::kInfo, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_warn(Args&&... args) { log_at(LogLevel::kWarn, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_error(Args&&... args) { log_at(LogLevel::kError, std::forward<Args>(args)...); }
+
+}  // namespace rvcap

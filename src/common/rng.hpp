@@ -1,0 +1,41 @@
+// Deterministic RNG for tests and workload generators.
+//
+// SplitMix64: tiny, fast, and fully reproducible across platforms —
+// preferred over std::mt19937 for cross-platform determinism of the
+// benchmark workloads (std distributions are not portable).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rvcap {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) — bound must be nonzero.
+  constexpr u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr u64 next_range(u64 lo, u64 hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  constexpr u8 next_byte() { return static_cast<u8>(next() & 0xFF); }
+
+  constexpr double next_double() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace rvcap

@@ -1,0 +1,50 @@
+// Status codes returned by driver APIs and substrate operations.
+//
+// Mirrors the return-code style of the paper's C driver layer while
+// remaining idiomatic C++ (enum class + helpers, no errno).
+#pragma once
+
+#include <string_view>
+
+namespace rvcap {
+
+enum class Status {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kDeviceBusy,
+  kTimeout,
+  kIoError,
+  kCrcError,
+  kProtocolError,   // malformed bitstream / bus protocol violation
+  kNoSpace,
+  kNotSupported,
+  kDecoupled,       // access to a decoupled reconfigurable partition
+  kInternal,
+};
+
+constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kInvalidArgument: return "invalid_argument";
+    case Status::kOutOfRange: return "out_of_range";
+    case Status::kNotFound: return "not_found";
+    case Status::kAlreadyExists: return "already_exists";
+    case Status::kDeviceBusy: return "device_busy";
+    case Status::kTimeout: return "timeout";
+    case Status::kIoError: return "io_error";
+    case Status::kCrcError: return "crc_error";
+    case Status::kProtocolError: return "protocol_error";
+    case Status::kNoSpace: return "no_space";
+    case Status::kNotSupported: return "not_supported";
+    case Status::kDecoupled: return "decoupled";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+}  // namespace rvcap

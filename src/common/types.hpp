@@ -1,0 +1,26 @@
+// Fundamental scalar types and small utility aliases used across the
+// whole RV-CAP code base.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace rvcap {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Simulation time, counted in core-clock cycles (100 MHz unless noted).
+using Cycles = std::uint64_t;
+
+/// A physical address on the SoC bus (64-bit address space).
+using Addr = std::uint64_t;
+
+}  // namespace rvcap

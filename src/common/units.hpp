@@ -1,0 +1,43 @@
+// Unit helpers: clock frequencies, cycle<->time conversion, byte sizes.
+//
+// The paper's SoC runs fully synchronous at 100 MHz (the ICAP maximum on
+// 7-series devices); the CLINT real-time counter ticks at 5 MHz. All
+// simulation time is kept in core-clock cycles and converted to
+// microseconds / MB/s only at reporting boundaries.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rvcap {
+
+/// Core clock of the fully synchronous SoC design (Hz).
+inline constexpr u64 kCoreClockHz = 100'000'000;
+
+/// CLINT timer clock used by the paper to measure reconfiguration time.
+inline constexpr u64 kClintClockHz = 5'000'000;
+
+/// Core cycles per CLINT timer tick (100 MHz / 5 MHz).
+inline constexpr u64 kCyclesPerClintTick = kCoreClockHz / kClintClockHz;
+
+inline constexpr u64 KiB(u64 n) { return n * 1024; }
+inline constexpr u64 MiB(u64 n) { return n * 1024 * 1024; }
+
+/// Convert core cycles to microseconds at the 100 MHz core clock.
+inline constexpr double cycles_to_us(Cycles c) {
+  return static_cast<double>(c) * 1e6 / static_cast<double>(kCoreClockHz);
+}
+
+/// Convert core cycles to milliseconds.
+inline constexpr double cycles_to_ms(Cycles c) {
+  return static_cast<double>(c) * 1e3 / static_cast<double>(kCoreClockHz);
+}
+
+/// Throughput in MB/s (decimal megabytes, as used in the paper's tables)
+/// for `bytes` transferred in `c` core cycles.
+inline constexpr double throughput_mbps(u64 bytes, Cycles c) {
+  if (c == 0) return 0.0;
+  const double seconds = static_cast<double>(c) / static_cast<double>(kCoreClockHz);
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+}  // namespace rvcap

@@ -1,0 +1,80 @@
+#include "driver/boot_table.hpp"
+
+#include "common/bytes.hpp"
+
+namespace rvcap::driver {
+
+namespace {
+constexpr usize kHeaderBytes = 16;
+constexpr usize kEntryBytes = 32;
+constexpr usize kNameBytes = 16;
+}  // namespace
+
+Status pack_boot_table(std::span<const BootTableEntry> entries,
+                       std::vector<u8>* out) {
+  out->assign(kHeaderBytes + entries.size() * kEntryBytes, 0);
+  store_le32(std::span(*out).subspan(0x00), kBootTableMagic);
+  store_le32(std::span(*out).subspan(0x04), kBootTableVersion);
+  store_le32(std::span(*out).subspan(0x08),
+             static_cast<u32>(entries.size()));
+  usize off = kHeaderBytes;
+  for (const BootTableEntry& e : entries) {
+    if (e.pbit_name.size() >= kNameBytes) return Status::kInvalidArgument;
+    store_le32(std::span(*out).subspan(off + 0x00), e.rm_id);
+    store_le32(std::span(*out).subspan(off + 0x04),
+               e.compressed ? 1u : 0u);
+    std::copy(e.pbit_name.begin(), e.pbit_name.end(),
+              out->begin() + static_cast<long>(off) + 0x08);
+    off += kEntryBytes;
+  }
+  return Status::kOk;
+}
+
+Status read_boot_table(cpu::CpuContext& cpu,
+                       std::vector<BootTableEntry>* out, Addr boot_base,
+                       Addr table_offset) {
+  out->clear();
+  const Addr base = boot_base + table_offset;
+  u8 header[kHeaderBytes];
+  cpu.read_buffer(base, header);
+  if (load_le32(std::span<const u8>(header).subspan(0x00)) !=
+      kBootTableMagic) {
+    return Status::kNotFound;
+  }
+  if (load_le32(std::span<const u8>(header).subspan(0x04)) !=
+      kBootTableVersion) {
+    return Status::kNotSupported;
+  }
+  const u32 count = load_le32(std::span<const u8>(header).subspan(0x08));
+  if (count > 256) return Status::kProtocolError;
+
+  std::vector<u8> raw(usize{count} * kEntryBytes);
+  cpu.read_buffer(base + kHeaderBytes, raw);
+  for (u32 i = 0; i < count; ++i) {
+    const auto rec = std::span<const u8>(raw).subspan(usize{i} * kEntryBytes,
+                                                      kEntryBytes);
+    BootTableEntry e;
+    e.rm_id = load_le32(rec.subspan(0x00));
+    e.compressed = (load_le32(rec.subspan(0x04)) & 1) != 0;
+    const auto name = rec.subspan(0x08, kNameBytes);
+    for (u8 c : name) {
+      if (c == 0) break;
+      e.pbit_name.push_back(static_cast<char>(c));
+    }
+    if (e.pbit_name.empty()) return Status::kProtocolError;
+    out->push_back(std::move(e));
+  }
+  return Status::kOk;
+}
+
+std::vector<ReconfigModule> to_reconfig_modules(
+    std::span<const BootTableEntry> entries) {
+  std::vector<ReconfigModule> mods;
+  mods.reserve(entries.size());
+  for (const BootTableEntry& e : entries) {
+    mods.push_back(ReconfigModule{e.pbit_name, e.rm_id, 0, 0});
+  }
+  return mods;
+}
+
+}  // namespace rvcap::driver

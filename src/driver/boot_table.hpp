@@ -1,0 +1,58 @@
+// Reconfigurable-module boot table in on-chip boot memory.
+//
+// §III-A: "on-chip boot memory is used to store application
+// instructions for execution" — alongside the binary, deployments keep
+// a table describing the available RMs (name, rm_id, bitstream file)
+// so the application discovers its module set at startup instead of
+// hard-coding it. This module defines that on-memory format and the
+// CPU-side pack/parse routines.
+//
+// Layout (little-endian, at a fixed offset in boot memory):
+//   0x00  magic  "RVBT" (0x52564254)
+//   0x04  version (1)
+//   0x08  entry count N
+//   0x0C  reserved
+//   0x10  N entries of 32 bytes:
+//         0x00 rm_id
+//         0x04 flags (bit0: compressed bitstream)
+//         0x08 8.3 file name, 16 bytes, NUL padded
+//         0x18 reserved (8 bytes)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "cpu/cpu.hpp"
+#include "driver/reconfig_module.hpp"
+#include "mem/sram.hpp"
+#include "soc/memory_map.hpp"
+
+namespace rvcap::driver {
+
+struct BootTableEntry {
+  u32 rm_id = 0;
+  bool compressed = false;
+  std::string pbit_name;  // 8.3 path on the SD card, <= 15 chars
+};
+
+inline constexpr u32 kBootTableMagic = 0x52564254;  // "RVBT"
+inline constexpr u32 kBootTableVersion = 1;
+inline constexpr Addr kBootTableOffset = 0x1000;  // after the binary
+
+/// Host/provisioning side: serialize the table into a boot image blob.
+Status pack_boot_table(std::span<const BootTableEntry> entries,
+                       std::vector<u8>* out);
+
+/// Target side: parse the table from boot memory through the CPU model
+/// (timed bus reads, as firmware would).
+Status read_boot_table(cpu::CpuContext& cpu, std::vector<BootTableEntry>* out,
+                       Addr boot_base = soc::MemoryMap::kBootMem.base,
+                       Addr table_offset = kBootTableOffset);
+
+/// Convenience: turn table entries into ReconfigModule descriptors
+/// ready for init_RModules.
+std::vector<ReconfigModule> to_reconfig_modules(
+    std::span<const BootTableEntry> entries);
+
+}  // namespace rvcap::driver

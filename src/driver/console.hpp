@@ -1,0 +1,22 @@
+// Console output helper: the driver's terminal messages go through the
+// memory-mapped UART ("a terminal message informs that the
+// reconfiguration was successful", §III-C).
+#pragma once
+
+#include <string_view>
+
+#include "cpu/cpu.hpp"
+#include "soc/memory_map.hpp"
+#include "soc/uart.hpp"
+
+namespace rvcap::driver {
+
+inline void uart_puts(cpu::CpuContext& cpu, std::string_view s,
+                      Addr uart_base = soc::MemoryMap::kUart.base) {
+  for (char c : s) {
+    cpu.store32_uncached(uart_base + soc::Uart::kThr,
+                         static_cast<u32>(static_cast<unsigned char>(c)));
+  }
+}
+
+}  // namespace rvcap::driver

@@ -1,0 +1,137 @@
+#include "driver/dpr_manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rvcap::driver {
+
+DprManager::DprManager(RvCapDriver& drv, fabric::ConfigMemory& cfg,
+                       usize rp_handle, storage::Fat32Volume* volume,
+                       const Config& config)
+    : drv_(drv), cfg_(cfg), rp_handle_(rp_handle), volume_(volume),
+      config_(config), slot_owner_(config.num_slots),
+      slot_last_use_(config.num_slots, 0) {}
+
+Status DprManager::register_module(std::string name, u32 rm_id,
+                                   std::string pbit_path) {
+  if (volume_ == nullptr) return Status::kInvalidArgument;
+  if (find(name) != nullptr) return Status::kAlreadyExists;
+  u32 size = 0;
+  if (auto st = volume_->file_size(pbit_path, &size); !ok(st)) return st;
+  if (size > config_.slot_bytes) return Status::kNoSpace;
+  Module m;
+  m.name = std::move(name);
+  m.rm_id = rm_id;
+  m.pbit_path = std::move(pbit_path);
+  m.pbit_size = size;
+  modules_.push_back(std::move(m));
+  return Status::kOk;
+}
+
+Status DprManager::register_staged(std::string name, u32 rm_id, Addr addr,
+                                   u32 bytes) {
+  if (find(name) != nullptr) return Status::kAlreadyExists;
+  Module m;
+  m.name = std::move(name);
+  m.rm_id = rm_id;
+  m.staged_addr = addr;
+  m.pbit_size = bytes;
+  m.pinned = true;
+  modules_.push_back(std::move(m));
+  return Status::kOk;
+}
+
+DprManager::Module* DprManager::find(std::string_view name) {
+  for (Module& m : modules_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+u32 DprManager::pick_victim_slot() {
+  u32 best = 0;
+  u64 oldest = ~u64{0};
+  for (u32 s = 0; s < config_.num_slots; ++s) {
+    if (!slot_owner_[s].has_value()) return s;  // free slot
+    if (slot_last_use_[s] < oldest) {
+      oldest = slot_last_use_[s];
+      best = s;
+    }
+  }
+  return best;
+}
+
+Status DprManager::ensure_staged(Module& m) {
+  if (m.pinned) return Status::kOk;
+  if (m.slot.has_value()) {
+    ++stats_.staging_hits;
+    slot_last_use_[*m.slot] = ++use_clock_;
+    return Status::kOk;
+  }
+  if (volume_ == nullptr) return Status::kInternal;
+
+  const u32 slot = pick_victim_slot();
+  if (slot_owner_[slot].has_value()) {
+    Module& evicted = modules_[*slot_owner_[slot]];
+    evicted.slot.reset();
+    ++stats_.evictions;
+    log_debug("dpr_manager: evicting ", evicted.name, " from slot ", slot);
+  }
+
+  // Stage via init_RModules (the Listing-1 step-1 path).
+  ReconfigModule rm{m.pbit_path, m.rm_id, 0, 0};
+  std::span<ReconfigModule> one(&rm, 1);
+  if (auto st = drv_.init_RModules(
+          one, *volume_,
+          config_.staging_base + u64{slot} * config_.slot_bytes);
+      !ok(st)) {
+    return st;
+  }
+  m.staged_addr = rm.start_address;
+  m.pbit_size = rm.pbit_size;
+  m.slot = slot;
+  slot_owner_[slot] = static_cast<usize>(&m - modules_.data());
+  slot_last_use_[slot] = ++use_clock_;
+  ++stats_.staging_loads;
+  return Status::kOk;
+}
+
+Status DprManager::prefetch(std::string_view name) {
+  Module* m = find(name);
+  if (m == nullptr) return Status::kNotFound;
+  return ensure_staged(*m);
+}
+
+Status DprManager::activate(std::string_view name, DmaMode mode) {
+  ++stats_.activation_requests;
+  Module* m = find(name);
+  if (m == nullptr) return Status::kNotFound;
+
+  const auto st = cfg_.partition_state(rp_handle_);
+  if (st.loaded && st.rm_id == m->rm_id) {
+    ++stats_.already_active_hits;
+    return Status::kOk;
+  }
+  if (auto s = ensure_staged(*m); !ok(s)) return s;
+
+  ReconfigModule rm{m->name, m->rm_id, m->staged_addr, m->pbit_size};
+  if (auto s = drv_.init_reconfig_process(rm, mode); !ok(s)) return s;
+  ++stats_.reconfigurations;
+  stats_.total_reconfig_ticks += drv_.last_timing().reconfig_ticks;
+
+  const auto after = cfg_.partition_state(rp_handle_);
+  return (after.loaded && after.rm_id == m->rm_id) ? Status::kOk
+                                                   : Status::kIoError;
+}
+
+std::string DprManager::active_module() const {
+  const auto st = cfg_.partition_state(rp_handle_);
+  if (!st.loaded) return {};
+  for (const Module& m : modules_) {
+    if (m.rm_id == st.rm_id) return m.name;
+  }
+  return {};
+}
+
+}  // namespace rvcap::driver

@@ -1,0 +1,93 @@
+// DPR manager — runtime module management above the Listing-1 APIs.
+//
+// The paper's related work (ZyCAP's high-level interface, FOS) and its
+// own outlook motivate a software layer that abstracts reconfiguration
+// management: applications name modules; the manager keeps partial
+// bitstreams staged in a DDR slot cache (loading from the FAT32 volume
+// on a miss, LRU-evicting when full), skips reconfiguration when the
+// requested module is already active, and accounts every cost.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/rvcap_driver.hpp"
+#include "fabric/config_memory.hpp"
+
+namespace rvcap::driver {
+
+class DprManager {
+ public:
+  struct Config {
+    Addr staging_base = soc::MemoryMap::kPbitStagingBase;
+    u32 slot_bytes = 1 << 20;  // one staging slot per module, 1 MiB
+    u32 num_slots = 4;
+  };
+
+  struct Stats {
+    u64 activation_requests = 0;
+    u64 reconfigurations = 0;      // actual DPR transfers performed
+    u64 already_active_hits = 0;   // requests satisfied without DPR
+    u64 staging_hits = 0;          // bitstream already in DDR
+    u64 staging_loads = 0;         // SD -> DDR loads performed
+    u64 evictions = 0;             // LRU slot reclaims
+    u64 total_reconfig_ticks = 0;  // CLINT ticks spent in T_r
+  };
+
+  /// `volume` may be nullptr when every module is pre-staged.
+  DprManager(RvCapDriver& drv, fabric::ConfigMemory& cfg, usize rp_handle,
+             storage::Fat32Volume* volume, const Config& config);
+  DprManager(RvCapDriver& drv, fabric::ConfigMemory& cfg, usize rp_handle,
+             storage::Fat32Volume* volume)
+      : DprManager(drv, cfg, rp_handle, volume, Config{}) {}
+
+  /// Register a module backed by a bitstream file on the volume.
+  Status register_module(std::string name, u32 rm_id,
+                         std::string pbit_path);
+  /// Register a module whose bitstream is already staged in DDR.
+  Status register_staged(std::string name, u32 rm_id, Addr addr, u32 bytes);
+
+  /// Ensure the module's bitstream is staged (no reconfiguration).
+  Status prefetch(std::string_view name);
+
+  /// Make the module active in the partition; no-op when it already is.
+  Status activate(std::string_view name,
+                  DmaMode mode = DmaMode::kInterrupt);
+
+  /// Name of the module currently active (empty when none/unknown).
+  std::string active_module() const;
+
+  const Stats& stats() const { return stats_; }
+  double total_reconfig_us() const {
+    return TimerDriver::ticks_to_us(stats_.total_reconfig_ticks);
+  }
+
+ private:
+  struct Module {
+    std::string name;
+    u32 rm_id = 0;
+    std::string pbit_path;       // empty for pre-staged modules
+    std::optional<u32> slot;     // staging slot index when resident
+    Addr staged_addr = 0;
+    u32 pbit_size = 0;
+    bool pinned = false;         // pre-staged: never evicted
+  };
+
+  Module* find(std::string_view name);
+  Status ensure_staged(Module& m);
+  u32 pick_victim_slot();
+
+  RvCapDriver& drv_;
+  fabric::ConfigMemory& cfg_;
+  usize rp_handle_;
+  storage::Fat32Volume* volume_;
+  Config config_;
+  std::vector<Module> modules_;
+  std::vector<std::optional<usize>> slot_owner_;  // module index per slot
+  std::vector<u64> slot_last_use_;
+  u64 use_clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rvcap::driver

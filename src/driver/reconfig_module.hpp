@@ -1,0 +1,26 @@
+// The reconfig_module descriptor of Listing 2: "a unique input
+// containing the bitstream name, the functionality of the RM, the start
+// address ... where the bitstream is stored in the DDR, and the
+// bitstream size".
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rvcap::driver {
+
+struct ReconfigModule {
+  std::string pbit_name;   // file name on the SD card's FAT32 volume
+  u32 rm_id = 0;           // functionality of the RM
+  Addr start_address = 0;  // DDR staging address (filled by init_RModules)
+  u32 pbit_size = 0;       // bytes (filled by init_RModules)
+};
+
+/// DMA completion handling mode (Listing 1's `mode` parameter).
+enum class DmaMode : u8 {
+  kBlocking,   // poll the DMA status register
+  kInterrupt,  // non-blocking: completion via PLIC interrupt
+};
+
+}  // namespace rvcap::driver

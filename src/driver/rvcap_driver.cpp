@@ -1,0 +1,324 @@
+#include "driver/rvcap_driver.hpp"
+
+#include "bitstream/readback.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "soc/memory_map.hpp"
+
+namespace rvcap::driver {
+
+using rvcap_ctrl::AxiDma;
+using rvcap_ctrl::RpControl;
+
+RvCapDriver::RvCapDriver(cpu::CpuContext& cpu, irq::Plic& plic,
+                         Addr dma_base, Addr rp_base, Addr plic_base,
+                         Addr clint_base)
+    : cpu_(cpu), plic_(plic), dma_base_(dma_base), rp_base_(rp_base),
+      plic_base_(plic_base), timer_(cpu, clint_base) {
+  // Enable the DMA completion sources at the PLIC (priority 1).
+  cpu_.store32_uncached(plic_base_ + irq::Plic::kEnableBase,
+                        (1u << soc::IrqMap::kDmaMm2s) |
+                            (1u << soc::IrqMap::kDmaS2mm));
+}
+
+Status RvCapDriver::init_RModules(std::span<ReconfigModule> modules,
+                                  storage::Fat32Volume& volume,
+                                  Addr staging_base) {
+  cpu_.spend_call_overhead();
+  Addr next = staging_base;
+  std::vector<u8> chunk(4096);
+  for (ReconfigModule& m : modules) {
+    u32 size = 0;
+    if (auto st = volume.file_size(m.pbit_name, &size); !ok(st)) return st;
+    m.pbit_size = size;
+    m.start_address = next;
+    // Stream SD -> DDR in cluster-sized chunks.
+    u32 off = 0;
+    while (off < size) {
+      const u32 n = std::min<u32>(static_cast<u32>(chunk.size()), size - off);
+      if (auto st = volume.read_file_range(
+              m.pbit_name, off, std::span(chunk).first(n));
+          !ok(st)) {
+        return st;
+      }
+      cpu_.write_buffer(m.start_address + off, std::span(chunk).first(n));
+      off += n;
+    }
+    next += (u64{size} + 63) & ~u64{63};  // 64-byte-aligned staging slots
+  }
+  return Status::kOk;
+}
+
+void RvCapDriver::decouple_accel(bool decouple) {
+  const u32 cur = cpu_.load32_uncached(rp_base_ + RpControl::kControl);
+  const u32 next = decouple ? (cur | RpControl::kCtlDecouple)
+                            : (cur & ~RpControl::kCtlDecouple);
+  cpu_.store32_uncached(rp_base_ + RpControl::kControl, next);
+}
+
+void RvCapDriver::select_ICAP(bool select) {
+  const u32 cur = cpu_.load32_uncached(rp_base_ + RpControl::kControl);
+  const u32 next = select ? (cur | RpControl::kCtlSelectIcap)
+                          : (cur & ~RpControl::kCtlSelectIcap);
+  cpu_.store32_uncached(rp_base_ + RpControl::kControl, next);
+}
+
+void RvCapDriver::select_decompress(bool enable) {
+  const u32 cur = cpu_.load32_uncached(rp_base_ + RpControl::kControl);
+  const u32 next = enable ? (cur | RpControl::kCtlDecompress)
+                          : (cur & ~RpControl::kCtlDecompress);
+  cpu_.store32_uncached(rp_base_ + RpControl::kControl, next);
+}
+
+Status RvCapDriver::init_reconfig_process_compressed(const ReconfigModule& m,
+                                                     DmaMode mode) {
+  const u64 t0 = timer_.read_mtime();
+  cpu_.spend_call_overhead();
+  cpu_.spend_instructions(kDecisionInstructions);
+  decouple_accel(true);
+  select_ICAP(true);
+  select_decompress(true);
+  const u64 t1 = timer_.read_mtime();
+  Status st = reconfigure_RP(m.start_address, m.pbit_size, mode);
+  // The DMA finishes when the *compressed* stream has been fetched; the
+  // decompressor keeps expanding into the ICAP. Wait for the drain
+  // before touching any route (the kStDraining status bit).
+  if (ok(st)) {
+    bool drained = false;
+    for (int i = 0; i < 4'000'000; ++i) {
+      if (!(cpu_.load32_uncached(rp_base_ + RpControl::kStatus) &
+            RpControl::kStDraining)) {
+        drained = true;
+        break;
+      }
+    }
+    if (!drained) st = Status::kTimeout;
+    // A couple more reads' worth of time lets the AXIS2ICAP/ICAP FIFOs
+    // (a handful of words) empty.
+    (void)cpu_.load32_uncached(rp_base_ + RpControl::kStatus);
+    (void)cpu_.load32_uncached(rp_base_ + RpControl::kStatus);
+  }
+  const u64 t2 = timer_.read_mtime();
+  select_decompress(false);
+  select_ICAP(false);
+  decouple_accel(false);
+  timing_.decision_ticks = t1 - t0;
+  timing_.reconfig_ticks = t2 - t1;
+  return st;
+}
+
+Status RvCapDriver::reconfigure_RP(Addr data, u32 pbit_size, DmaMode mode) {
+  // dma_start(): set the CR run bit (+ irq enable for non-blocking).
+  u32 cr = AxiDma::kCrRunStop;
+  if (mode == DmaMode::kInterrupt) cr |= AxiDma::kCrIocIrqEn;
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sCr, cr);
+  // dma_write_stream(): source address + length kick off the read.
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSa,
+                        static_cast<u32>(data));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSaMsb,
+                        static_cast<u32>(data >> 32));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength, pbit_size);
+  return wait_mm2s_done(mode);
+}
+
+Status RvCapDriver::wait_mm2s_done(DmaMode mode) {
+  if (mode == DmaMode::kInterrupt) {
+    const u32 src = cpu_.wait_for_irq(plic_, plic_base_ +
+                                                irq::Plic::kClaimComplete);
+    if (src == 0) return Status::kTimeout;
+    // Acknowledge at the DMA (W1C) and complete at the PLIC.
+    cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
+    cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src);
+    return Status::kOk;
+  }
+  // Blocking: poll the status register's IOC bit.
+  for (int i = 0; i < 4'000'000; ++i) {
+    const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
+    if (sr & AxiDma::kSrIocIrq) {
+      cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
+      return Status::kOk;
+    }
+  }
+  return Status::kTimeout;
+}
+
+Status RvCapDriver::init_reconfig_process(const ReconfigModule& m,
+                                          DmaMode mode) {
+  // ---- decision phase (T_d): select the RM, prepare the fetch ----
+  const u64 t0 = timer_.read_mtime();
+  cpu_.spend_call_overhead();
+  cpu_.spend_instructions(kDecisionInstructions);  // RM-table lookup etc.
+  decouple_accel(true);
+  select_ICAP(true);
+  u32 cr = AxiDma::kCrRunStop;
+  if (mode == DmaMode::kInterrupt) cr |= AxiDma::kCrIocIrqEn;
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sCr, cr);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSa,
+                        static_cast<u32>(m.start_address));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSaMsb,
+                        static_cast<u32>(m.start_address >> 32));
+  const u64 t1 = timer_.read_mtime();
+
+  // ---- reconfiguration phase (T_r): transfer begins at LENGTH write.
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength, m.pbit_size);
+  const Status st = wait_mm2s_done(mode);
+  const u64 t2 = timer_.read_mtime();
+
+  select_ICAP(false);
+  decouple_accel(false);  // recouple the RP (end of Listing 1)
+
+  timing_.decision_ticks = t1 - t0;
+  timing_.reconfig_ticks = t2 - t1;
+  return st;
+}
+
+Status RvCapDriver::run_accelerator(Addr src, u32 in_bytes, Addr dst,
+                                    u32 out_bytes, DmaMode mode) {
+  cpu_.spend_call_overhead();
+  // Acceleration mode: coupled RP, stream switch toward the RM.
+  select_ICAP(false);
+  decouple_accel(false);
+  // S2MM first so the write channel is ready for the RM output.
+  u32 cr = AxiDma::kCrRunStop;
+  if (mode == DmaMode::kInterrupt) cr |= AxiDma::kCrIocIrqEn;
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmCr, cr);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmDa, static_cast<u32>(dst));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmDaMsb,
+                        static_cast<u32>(dst >> 32));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmLength, out_bytes);
+  // MM2S feeds the RM.
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sCr, AxiDma::kCrRunStop);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSa, static_cast<u32>(src));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSaMsb,
+                        static_cast<u32>(src >> 32));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength, in_bytes);
+
+  // Completion = S2MM wrote the full output image.
+  if (mode == DmaMode::kInterrupt) {
+    while (true) {
+      const u32 src_id = cpu_.wait_for_irq(
+          plic_, plic_base_ + irq::Plic::kClaimComplete);
+      if (src_id == 0) return Status::kTimeout;
+      if (src_id == soc::IrqMap::kDmaS2mm) {
+        cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr,
+                              AxiDma::kSrIocIrq);
+        cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src_id);
+        break;
+      }
+      cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src_id);
+    }
+  } else {
+    for (int i = 0; i < 40'000'000; ++i) {
+      const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kS2mmSr);
+      if (sr & AxiDma::kSrIocIrq) {
+        cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr,
+                              AxiDma::kSrIocIrq);
+        break;
+      }
+    }
+  }
+  // Clear the MM2S completion flag as well.
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
+  return Status::kOk;
+}
+
+Status RvCapDriver::wait_s2mm_done(DmaMode mode) {
+  if (mode == DmaMode::kInterrupt) {
+    while (true) {
+      const u32 src = cpu_.wait_for_irq(plic_, plic_base_ +
+                                                  irq::Plic::kClaimComplete);
+      if (src == 0) return Status::kTimeout;
+      const bool s2mm = (src == soc::IrqMap::kDmaS2mm);
+      if (s2mm) {
+        cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr,
+                              AxiDma::kSrIocIrq);
+      }
+      cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src);
+      if (s2mm) return Status::kOk;
+    }
+  }
+  for (int i = 0; i < 40'000'000; ++i) {
+    const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kS2mmSr);
+    if (sr & AxiDma::kSrIocIrq) {
+      cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr, AxiDma::kSrIocIrq);
+      return Status::kOk;
+    }
+  }
+  return Status::kTimeout;
+}
+
+Status RvCapDriver::readback(const fabric::FrameAddr& start, u32 words,
+                             Addr cmd_staging, Addr dst, DmaMode mode) {
+  if (words == 0 || words % 2 != 0) return Status::kInvalidArgument;
+  cpu_.spend_call_overhead();
+
+  // Stage the command sequence in DDR.
+  const std::vector<u8> cmd = bitstream::build_readback_bytes(start, words);
+  cpu_.write_buffer(cmd_staging, cmd);
+
+  decouple_accel(true);
+  select_ICAP(true);
+
+  // S2MM first: capture `words` FDRO words.
+  u32 cr = AxiDma::kCrRunStop;
+  if (mode == DmaMode::kInterrupt) cr |= AxiDma::kCrIocIrqEn;
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmCr, cr);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmDa, static_cast<u32>(dst));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmDaMsb,
+                        static_cast<u32>(dst >> 32));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmLength, words * 4);
+  // MM2S streams the command sequence into the port.
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sCr, AxiDma::kCrRunStop);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSa,
+                        static_cast<u32>(cmd_staging));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSaMsb,
+                        static_cast<u32>(cmd_staging >> 32));
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength,
+                        static_cast<u32>(cmd.size()));
+
+  const Status st = wait_s2mm_done(mode);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
+  select_ICAP(false);
+  decouple_accel(false);
+  return st;
+}
+
+Status RvCapDriver::readback_partition(const fabric::DeviceGeometry& dev,
+                                       const fabric::Partition& part,
+                                       Addr cmd_staging, Addr dst,
+                                       u32* words_read, DmaMode mode) {
+  *words_read = 0;
+  const auto& cols = part.columns();
+  usize i = 0;
+  while (i < cols.size()) {
+    usize j = i + 1;
+    u32 frames = dev.frames_in_column(cols[i].column);
+    while (j < cols.size() && cols[j].row == cols[j - 1].row &&
+           cols[j].column == cols[j - 1].column + 1) {
+      frames += dev.frames_in_column(cols[j].column);
+      ++j;
+    }
+    const u32 words = frames * fabric::kFrameWords;
+    const fabric::FrameAddr start{cols[i].row, cols[i].column, 0};
+    if (auto st = readback(start, words, cmd_staging,
+                           dst + u64{*words_read} * 4, mode);
+        !ok(st)) {
+      return st;
+    }
+    *words_read += words;
+    i = j;
+  }
+  return Status::kOk;
+}
+
+void RvCapDriver::rm_reg_write(u32 index, u32 value) {
+  cpu_.store32_uncached(rp_base_ + RpControl::kRmRegBase + 4 * index, value);
+}
+
+u32 RvCapDriver::rm_reg_read(u32 index) {
+  return cpu_.load32_uncached(rp_base_ + RpControl::kRmRegBase + 4 * index);
+}
+
+}  // namespace rvcap::driver

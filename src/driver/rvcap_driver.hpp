@@ -1,0 +1,107 @@
+// RV-CAP driver APIs — Listing 1 of the paper, with CLINT-timed
+// decision (T_d) and reconfiguration (T_r) phases.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+#include "driver/reconfig_module.hpp"
+#include "driver/timer.hpp"
+#include "fabric/geometry.hpp"
+#include "irq/plic.hpp"
+#include "rvcap/dma.hpp"
+#include "rvcap/rp_control.hpp"
+#include "soc/memory_map.hpp"
+#include "storage/fat32.hpp"
+
+namespace rvcap::driver {
+
+class RvCapDriver {
+ public:
+  struct Timing {
+    u64 decision_ticks = 0;  // T_d in CLINT (5 MHz) ticks
+    u64 reconfig_ticks = 0;  // T_r in CLINT ticks
+    double decision_us() const { return TimerDriver::ticks_to_us(decision_ticks); }
+    double reconfig_us() const { return TimerDriver::ticks_to_us(reconfig_ticks); }
+  };
+
+  RvCapDriver(cpu::CpuContext& cpu, irq::Plic& plic,
+              Addr dma_base = soc::MemoryMap::kDmaCtrl.base,
+              Addr rp_base = soc::MemoryMap::kRpCtrl.base,
+              Addr plic_base = soc::MemoryMap::kPlic.base,
+              Addr clint_base = soc::MemoryMap::kClint.base);
+
+  /// Step 1 (Listing 1): read each module's pbit size from the FAT32
+  /// volume and load the bitstream from the SD card to its DDR staging
+  /// address. Fills start_address/pbit_size of each descriptor.
+  Status init_RModules(std::span<ReconfigModule> modules,
+                       storage::Fat32Volume& volume,
+                       Addr staging_base = soc::MemoryMap::kPbitStagingBase);
+
+  /// Full Listing-1 reconfiguration: decouple -> select ICAP ->
+  /// reconfigure_RP -> recouple, measuring T_d and T_r via the CLINT.
+  Status init_reconfig_process(const ReconfigModule& m, DmaMode mode);
+
+  /// Individual steps (exposed for tests and ablations).
+  void decouple_accel(bool decouple);
+  void select_ICAP(bool select);
+  void select_decompress(bool enable);
+  Status reconfigure_RP(Addr data, u32 pbit_size, DmaMode mode);
+
+  /// Listing-1 flow for an RVZ0-compressed bitstream (RT-ICAP-style
+  /// extension): enables the inline decompressor for the transfer.
+  /// `m.pbit_size` is the COMPRESSED byte count.
+  Status init_reconfig_process_compressed(const ReconfigModule& m,
+                                          DmaMode mode);
+
+  /// Acceleration mode: stream `in_bytes` from `src` through the RM and
+  /// write `out_bytes` back to `dst` (Fig. 2 datapath, select_ICAP=0).
+  Status run_accelerator(Addr src, u32 in_bytes, Addr dst, u32 out_bytes,
+                         DmaMode mode);
+
+  /// Configuration-memory readback (§III-C: the ICAP path also reads):
+  /// stream a readback command sequence via MM2S, capture `words` FDRO
+  /// words via S2MM into `dst`. `words` must be even (the ICAP2AXIS
+  /// block packs word pairs into 64-bit beats).
+  Status readback(const fabric::FrameAddr& start, u32 words,
+                  Addr cmd_staging, Addr dst,
+                  DmaMode mode = DmaMode::kInterrupt);
+
+  /// Read back every frame of a partition (one pass per contiguous
+  /// column range); on return *words_read holds the total word count
+  /// landed at `dst`. The basis of safe-DPR verification flows.
+  Status readback_partition(const fabric::DeviceGeometry& dev,
+                            const fabric::Partition& part, Addr cmd_staging,
+                            Addr dst, u32* words_read,
+                            DmaMode mode = DmaMode::kInterrupt);
+
+  /// Write an RM control register through the RP control interface.
+  void rm_reg_write(u32 index, u32 value);
+  u32 rm_reg_read(u32 index);
+
+  const Timing& last_timing() const { return timing_; }
+
+  /// The CPU context driver services run on (scrubber, manager).
+  cpu::CpuContext& cpu_context() { return cpu_; }
+
+  /// Calibrated software cost of the RM-selection phase (descriptor
+  /// lookup, FAT32 metadata checks, API entry) in instruction bundles;
+  /// together with the six MMIO accesses of the decision phase this
+  /// reproduces the paper's T_d = 18 us.
+  static constexpr u64 kDecisionInstructions = 1350;
+
+ private:
+  Status wait_mm2s_done(DmaMode mode);
+  Status wait_s2mm_done(DmaMode mode);
+
+  cpu::CpuContext& cpu_;
+  irq::Plic& plic_;
+  Addr dma_base_;
+  Addr rp_base_;
+  Addr plic_base_;
+  TimerDriver timer_;
+  Timing timing_;
+};
+
+}  // namespace rvcap::driver

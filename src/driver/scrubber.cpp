@@ -1,0 +1,77 @@
+#include "driver/scrubber.hpp"
+
+#include "bitstream/packets.hpp"
+#include "common/bytes.hpp"
+
+namespace rvcap::driver {
+
+Status Scrubber::checksum_partition(const fabric::Partition& part,
+                                    u32* crc_out, u32* words_out) {
+  u32 words = 0;
+  if (auto st = drv_.readback_partition(dev_, part, cfg_.cmd_staging,
+                                        cfg_.rb_buffer, &words);
+      !ok(st)) {
+    return st;
+  }
+  // Software checksum over the captured buffer (cached burst reads +
+  // one ALU bundle per word).
+  bitstream::ConfigCrc crc;
+  std::vector<u8> chunk(4096);
+  cpu::CpuContext& cpu = drv_.cpu_context();
+  u32 done = 0;
+  while (done < words) {
+    const u32 n = std::min<u32>(static_cast<u32>(chunk.size() / 4),
+                                words - done);
+    cpu.read_buffer(cfg_.rb_buffer + u64{done} * 4,
+                    std::span(chunk).first(usize{n} * 4));
+    for (u32 k = 0; k < n; ++k) {
+      crc.update(0, load_be32(std::span<const u8>(chunk).subspan(
+                        usize{k} * 4, 4)));
+    }
+    cpu.spend_instructions(n);  // the checksum loop itself
+    done += n;
+  }
+  *crc_out = crc.value();
+  *words_out = words;
+  return Status::kOk;
+}
+
+Status Scrubber::snapshot(const fabric::Partition& part) {
+  u32 crc = 0, words = 0;
+  if (auto st = checksum_partition(part, &crc, &words); !ok(st)) return st;
+  golden_crc_ = crc;
+  has_golden_ = true;
+  return Status::kOk;
+}
+
+Status Scrubber::scrub(const fabric::Partition& part, bool* clean) {
+  if (!has_golden_) return Status::kInternal;
+  u32 crc = 0, words = 0;
+  if (auto st = checksum_partition(part, &crc, &words); !ok(st)) return st;
+  ++stats_.scrubs;
+  stats_.words_scrubbed += words;
+  const bool is_clean = (crc == golden_crc_);
+  if (clean != nullptr) *clean = is_clean;
+  if (!is_clean) {
+    ++stats_.detections;
+    return Status::kCrcError;
+  }
+  return Status::kOk;
+}
+
+Status Scrubber::scrub_and_repair(const fabric::Partition& part,
+                                  const ReconfigModule& module,
+                                  DmaMode mode) {
+  bool clean = true;
+  const Status st = scrub(part, &clean);
+  if (ok(st) && clean) return Status::kOk;
+  if (st != Status::kCrcError) return st;
+
+  // Full-partition repair: reload the module's bitstream.
+  if (auto rs = drv_.init_reconfig_process(module, mode); !ok(rs)) return rs;
+  ++stats_.repairs;
+  // Re-snapshot: the repair rewrote every frame.
+  return snapshot(part);
+}
+
+}  // namespace rvcap::driver

@@ -1,0 +1,105 @@
+#include "fabric/config_memory.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rvcap::fabric {
+
+std::optional<RmManifest> RmManifest::decode(std::span<const u32> frame) {
+  if (frame.size() < 4 || frame[0] != kMagic) return std::nullopt;
+  RmManifest m;
+  m.rm_id = frame[1];
+  m.frame_count = frame[2];
+  if (frame[3] != m.check()) return std::nullopt;
+  return m;
+}
+
+void RmManifest::encode(std::span<u32> frame) const {
+  frame[0] = kMagic;
+  frame[1] = rm_id;
+  frame[2] = frame_count;
+  frame[3] = check();
+}
+
+ConfigMemory::ConfigMemory(const DeviceGeometry& dev) : dev_(dev) {}
+
+usize ConfigMemory::register_partition(const Partition& p) {
+  Tracker t{p, p.frame_addrs(dev_), 0, false, 0, 0, std::nullopt, 0};
+  trackers_.push_back(std::move(t));
+  return trackers_.size() - 1;
+}
+
+void ConfigMemory::write_frame(const FrameAddr& fa,
+                               std::span<const u32> words) {
+  if (!dev_.valid(fa) || words.size() != kFrameWords) {
+    ++bad_address_writes_;
+    log_warn("cfgmem: dropped frame write row=", fa.row, " col=", fa.column,
+             " minor=", fa.minor);
+    return;
+  }
+  frames_[fa.encode()] = std::vector<u32>(words.begin(), words.end());
+  ++frames_written_;
+
+  for (Tracker& t : trackers_) {
+    if (!t.part.contains(dev_, fa)) continue;
+    t.touched_epoch = epoch_;
+    if (fa == t.addrs.front()) {
+      // New pass over this partition begins at its base frame.
+      t.progress = 1;
+      t.loaded = false;
+      t.manifest = RmManifest::decode(words);
+    } else if (t.progress > 0 && t.progress < t.addrs.size() &&
+               fa == t.addrs[t.progress]) {
+      ++t.progress;
+    } else {
+      // Out-of-order write: the partition contents are now undefined.
+      t.progress = 0;
+      t.loaded = false;
+      t.manifest.reset();
+    }
+    if (t.progress == t.addrs.size() && t.manifest.has_value() &&
+        t.manifest->frame_count == t.addrs.size()) {
+      t.loaded = true;
+      t.rm_id = t.manifest->rm_id;
+      ++t.loads_completed;
+    }
+  }
+}
+
+const std::vector<u32>* ConfigMemory::frame(const FrameAddr& fa) const {
+  const auto it = frames_.find(fa.encode());
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+bool ConfigMemory::inject_upset(const FrameAddr& fa, u32 word_index,
+                                u32 bit) {
+  const auto it = frames_.find(fa.encode());
+  if (it == frames_.end() || word_index >= it->second.size() || bit >= 32) {
+    return false;
+  }
+  it->second[word_index] ^= (1u << bit);
+  return true;
+}
+
+void ConfigMemory::notify_rcrc() { ++epoch_; }
+
+void ConfigMemory::notify_crc_error() {
+  for (Tracker& t : trackers_) {
+    if (t.touched_epoch == epoch_) {
+      t.progress = 0;
+      t.loaded = false;
+      t.manifest.reset();
+    }
+  }
+}
+
+ConfigMemory::PartitionState ConfigMemory::partition_state(
+    usize handle) const {
+  const Tracker& t = trackers_.at(handle);
+  return PartitionState{t.loaded, t.rm_id, t.progress,
+                        static_cast<u32>(t.addrs.size()),
+                        t.loads_completed};
+}
+
+}  // namespace rvcap::fabric

@@ -1,0 +1,100 @@
+// FPGA configuration memory + reconfigurable-module activation tracking.
+//
+// Frames written through the ICAP land here. Each registered partition
+// is tracked with an in-order progress pointer: a configuration pass
+// that writes every frame of the partition, in configuration order,
+// starting at its base frame, "activates" the module described by the
+// manifest embedded in the first frame. Out-of-order or partial writes
+// deactivate the partition (a half-configured region is garbage on real
+// silicon; the functional model makes that state explicit instead).
+//
+// The ICAP reports RCRC (start of a configuration pass) and CRC errors;
+// a CRC error invalidates every partition touched during the pass, so a
+// corrupted bitstream can never activate an RM.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fabric/geometry.hpp"
+
+namespace rvcap::fabric {
+
+/// Reconfigurable-module manifest embedded in the first frame of a
+/// partition's bitstream (words 0..3).
+struct RmManifest {
+  static constexpr u32 kMagic = 0x524D4F44;  // "RMOD"
+
+  u32 rm_id = 0;
+  u32 frame_count = 0;
+
+  u32 check() const { return kMagic ^ rm_id ^ frame_count; }
+
+  static std::optional<RmManifest> decode(std::span<const u32> frame);
+  void encode(std::span<u32> frame) const;
+};
+
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const DeviceGeometry& dev);
+
+  const DeviceGeometry& device() const { return dev_; }
+
+  /// Register a partition to be tracked; returns a handle.
+  usize register_partition(const Partition& p);
+
+  /// Write one frame (kFrameWords words). Invalid addresses count as
+  /// errors and are dropped.
+  void write_frame(const FrameAddr& fa, std::span<const u32> words);
+
+  /// Read a frame back; nullptr when never written.
+  const std::vector<u32>* frame(const FrameAddr& fa) const;
+
+  // ---- ICAP notifications ----
+  void notify_rcrc();       // start of a configuration pass
+  void notify_crc_error();  // pass failed: invalidate touched partitions
+
+  // ---- partition state ----
+  struct PartitionState {
+    bool loaded = false;   // full in-order pass completed, manifest valid
+    u32 rm_id = 0;         // valid when loaded
+    u32 progress = 0;      // frames matched so far in the current pass
+    u32 frame_count = 0;
+    u64 loads_completed = 0;
+  };
+  PartitionState partition_state(usize handle) const;
+  usize num_partitions() const { return trackers_.size(); }
+
+  u64 frames_written() const { return frames_written_; }
+  u64 bad_address_writes() const { return bad_address_writes_; }
+
+  /// Fault injection: flip one stored configuration bit in place (a
+  /// single-event upset). Unlike write_frame this does NOT touch the
+  /// activation trackers — an SEU corrupts silently, which is exactly
+  /// what readback scrubbing exists to catch.
+  /// Returns false when the frame has never been written.
+  bool inject_upset(const FrameAddr& fa, u32 word_index, u32 bit);
+
+ private:
+  struct Tracker {
+    Partition part;
+    std::vector<FrameAddr> addrs;
+    u32 progress = 0;
+    bool loaded = false;
+    u32 rm_id = 0;
+    u64 loads_completed = 0;
+    std::optional<RmManifest> manifest;
+    u64 touched_epoch = 0;  // last pass that wrote into this partition
+  };
+
+  const DeviceGeometry& dev_;
+  std::map<u32, std::vector<u32>> frames_;  // key: FrameAddr::encode()
+  std::vector<Tracker> trackers_;
+  u64 frames_written_ = 0;
+  u64 bad_address_writes_ = 0;
+  u64 epoch_ = 1;
+};
+
+}  // namespace rvcap::fabric

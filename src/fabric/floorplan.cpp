@@ -1,0 +1,57 @@
+#include "fabric/floorplan.hpp"
+
+namespace rvcap::fabric {
+
+namespace {
+char column_char(ColumnType t) {
+  switch (t) {
+    case ColumnType::kClb: return '.';
+    case ColumnType::kBram: return 'b';
+    case ColumnType::kDsp: return 'd';
+    case ColumnType::kClk: return ':';
+    case ColumnType::kIo: return '|';
+  }
+  return '?';
+}
+}  // namespace
+
+std::string render_floorplan(const DeviceGeometry& dev,
+                             std::span<const FloorplanRegion> regions) {
+  std::string out;
+  out += "clock\nregion  columns (X" + std::to_string(0) + "..X" +
+         std::to_string(dev.num_columns() - 1) + ")\n";
+  for (u32 row = dev.rows(); row-- > 0;) {  // top row printed first
+    out += "  Y" + std::to_string(row) + "   ";
+    for (u32 col = 0; col < dev.num_columns(); ++col) {
+      char c = column_char(dev.column(col));
+      for (const FloorplanRegion& r : regions) {
+        if (r.part == nullptr) continue;
+        for (const auto& ref : r.part->columns()) {
+          if (ref.row == row && ref.column == col) {
+            c = r.marker;
+            break;
+          }
+        }
+      }
+      out += c;
+    }
+    out += '\n';
+  }
+  out += "\n  legend: . CLB   b BRAM   d DSP   : clock   | IO\n";
+  for (const FloorplanRegion& r : regions) {
+    out += "          ";
+    out += r.marker;
+    out += " " + r.label;
+    if (r.part != nullptr) {
+      const auto res = r.part->resources(dev);
+      out += "  (" + std::to_string(res.luts) + " LUT, " +
+             std::to_string(res.ffs) + " FF, " + std::to_string(res.brams) +
+             " BRAM, " + std::to_string(res.dsps) + " DSP, " +
+             std::to_string(r.part->frame_count(dev)) + " frames)";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rvcap::fabric

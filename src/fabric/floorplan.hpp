@@ -1,0 +1,25 @@
+// ASCII floorplan rendering (Fig. 4: "overview of the full SoC
+// floorplan on a Kintex-7 FPGA").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabric/geometry.hpp"
+
+namespace rvcap::fabric {
+
+struct FloorplanRegion {
+  std::string label;        // e.g. "RP0"
+  const Partition* part = nullptr;
+  char marker = '#';
+};
+
+/// Render the device as rows x columns of characters: '.' CLB, 'b'
+/// BRAM, 'd' DSP, ':' CLK, '|' IO; partition cells take their region's
+/// marker. A legend follows the grid.
+std::string render_floorplan(const DeviceGeometry& dev,
+                             std::span<const FloorplanRegion> regions);
+
+}  // namespace rvcap::fabric

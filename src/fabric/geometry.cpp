@@ -1,0 +1,242 @@
+#include "fabric/geometry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fabric/pbit_layout.hpp"
+
+namespace rvcap::fabric {
+
+DeviceGeometry::DeviceGeometry(std::string name, u32 rows,
+                               std::vector<ColumnType> columns,
+                               u32 accel_window_start)
+    : name_(std::move(name)), rows_(rows), columns_(std::move(columns)),
+      accel_window_start_(accel_window_start) {
+  if (rows_ == 0 || columns_.empty()) {
+    throw std::invalid_argument("DeviceGeometry: empty device");
+  }
+  if (accel_window_start_ + 13 > columns_.size()) {
+    throw std::invalid_argument("DeviceGeometry: window out of range");
+  }
+}
+
+namespace {
+/// The contiguous 13-column acceleration window every model device
+/// carries: CLK C C B C C D C C B C C B = 1 CLK + 8 CLB + 3 BRAM +
+/// 1 DSP, which is exactly the paper's case-study partition footprint.
+void push_accel_window(std::vector<ColumnType>* cols) {
+  using enum ColumnType;
+  const ColumnType window[] = {kClk, kClb, kClb, kBram, kClb, kClb, kDsp,
+                               kClb, kClb, kBram, kClb, kClb, kBram};
+  for (ColumnType t : window) cols->push_back(t);
+}
+}  // namespace
+
+DeviceGeometry DeviceGeometry::kintex7_325t() {
+  using enum ColumnType;
+  std::vector<ColumnType> cols;
+  auto rep = [&](ColumnType t, u32 n) {
+    for (u32 i = 0; i < n; ++i) cols.push_back(t);
+  };
+  // Left half: IO, CLK, 16 CLB, DSP, 16 CLB, BRAM, CLK.
+  cols.push_back(kIo);
+  cols.push_back(kClk);
+  rep(kClb, 16);
+  cols.push_back(kDsp);
+  rep(kClb, 16);
+  cols.push_back(kBram);
+  cols.push_back(kClk);
+  // Acceleration window (columns 37..49).
+  push_accel_window(&cols);
+  // Right half: 16 CLB, DSP, BRAM, CLK, 16 CLB, DSP x3, BRAM, CLK, IO.
+  rep(kClb, 16);
+  cols.push_back(kDsp);
+  cols.push_back(kBram);
+  cols.push_back(kClk);
+  rep(kClb, 16);
+  rep(kDsp, 3);
+  cols.push_back(kBram);
+  cols.push_back(kClk);
+  cols.push_back(kIo);
+  // Totals: 72 CLB, 6 BRAM, 6 DSP, 5 CLK, 2 IO over 7 rows ->
+  // 201600 LUT / 403200 FF / 420 RAMB36 / 840 DSP48 (XC7K325T-class).
+  return DeviceGeometry("xc7k325t-model", 7, std::move(cols), 37);
+}
+
+DeviceGeometry DeviceGeometry::artix7_100t() {
+  using enum ColumnType;
+  std::vector<ColumnType> cols;
+  auto rep = [&](ColumnType t, u32 n) {
+    for (u32 i = 0; i < n; ++i) cols.push_back(t);
+  };
+  // Left half: IO, CLK, 8 CLB, BRAM, 8 CLB.
+  cols.push_back(kIo);
+  cols.push_back(kClk);
+  rep(kClb, 8);
+  cols.push_back(kBram);
+  rep(kClb, 8);
+  // Acceleration window (columns 19..31).
+  push_accel_window(&cols);
+  // Right half: 8 CLB, DSP, CLK, 8 CLB, DSP, IO.
+  rep(kClb, 8);
+  cols.push_back(kDsp);
+  cols.push_back(kClk);
+  rep(kClb, 8);
+  cols.push_back(kDsp);
+  cols.push_back(kIo);
+  // Totals over 4 rows: 40 CLB, 4 BRAM, 3 DSP, 3 CLK, 2 IO ->
+  // 64000 LUT / 128000 FF / 160 RAMB36 / 240 DSP48
+  // (XC7A100T: 63400 / 126800 / 135 / 240).
+  return DeviceGeometry("xc7a100t-model", 4, std::move(cols), 19);
+}
+
+u32 DeviceGeometry::total_frames() const {
+  u32 per_row = 0;
+  for (ColumnType t : columns_) per_row += frames_per_column(t);
+  return per_row * rows_;
+}
+
+resources::ResourceVec DeviceGeometry::total_resources() const {
+  resources::ResourceVec per_row;
+  for (ColumnType t : columns_) per_row += resources_per_column(t);
+  return per_row * rows_;
+}
+
+bool DeviceGeometry::valid(const FrameAddr& fa) const {
+  return fa.row < rows_ && fa.column < columns_.size() &&
+         fa.minor < frames_in_column(fa.column);
+}
+
+bool DeviceGeometry::next_frame(FrameAddr* fa) const {
+  if (!valid(*fa)) return false;
+  if (fa->minor + 1 < frames_in_column(fa->column)) {
+    ++fa->minor;
+    return true;
+  }
+  fa->minor = 0;
+  if (fa->column + 1 < columns_.size()) {
+    ++fa->column;
+    return true;
+  }
+  fa->column = 0;
+  if (fa->row + 1 < rows_) {
+    ++fa->row;
+    return true;
+  }
+  return false;  // past the last frame
+}
+
+// ---------------------------------------------------------------------------
+
+Partition::Partition(std::string name, std::vector<ColumnRef> columns)
+    : name_(std::move(name)), cols_(std::move(columns)) {
+  if (cols_.empty()) throw std::invalid_argument("Partition: no columns");
+}
+
+u32 Partition::frame_count(const DeviceGeometry& dev) const {
+  u32 n = 0;
+  for (const ColumnRef& c : cols_) n += dev.frames_in_column(c.column);
+  return n;
+}
+
+resources::ResourceVec Partition::resources(const DeviceGeometry& dev) const {
+  resources::ResourceVec r;
+  for (const ColumnRef& c : cols_) {
+    r += resources_per_column(dev.column(c.column));
+  }
+  return r;
+}
+
+std::vector<FrameAddr> Partition::frame_addrs(
+    const DeviceGeometry& dev) const {
+  std::vector<FrameAddr> out;
+  out.reserve(frame_count(dev));
+  for (const ColumnRef& c : cols_) {
+    for (u32 m = 0; m < dev.frames_in_column(c.column); ++m) {
+      out.push_back(FrameAddr{c.row, c.column, m});
+    }
+  }
+  return out;
+}
+
+FrameAddr Partition::base_frame(const DeviceGeometry& dev) const {
+  (void)dev;
+  return FrameAddr{cols_.front().row, cols_.front().column, 0};
+}
+
+bool Partition::contains(const DeviceGeometry& dev,
+                         const FrameAddr& fa) const {
+  if (!dev.valid(fa)) return false;
+  return std::any_of(cols_.begin(), cols_.end(), [&](const ColumnRef& c) {
+    return c.row == fa.row && c.column == fa.column;
+  });
+}
+
+u64 Partition::pbit_bytes(const DeviceGeometry& dev) const {
+  const u32 ranges = count_ranges(*this);
+  return 4ULL *
+         (kPbitFixedControlWords + kPbitWordsPerRange * ranges +
+          u64{frame_count(dev)} * kFrameWords);
+}
+
+u32 count_ranges(const Partition& p) {
+  const auto& cols = p.columns();
+  u32 ranges = 1;
+  for (usize i = 1; i < cols.size(); ++i) {
+    if (cols[i].row != cols[i - 1].row ||
+        cols[i].column != cols[i - 1].column + 1) {
+      ++ranges;
+    }
+  }
+  return ranges;
+}
+
+// ---------------------------------------------------------------------------
+
+std::optional<Partition> plan_partition(
+    const DeviceGeometry& dev, std::string name,
+    const resources::ResourceVec& need, u32 preferred_row,
+    const std::vector<Partition::ColumnRef>& avoid) {
+  if (preferred_row >= dev.rows()) return std::nullopt;
+  resources::ResourceVec have;
+  std::vector<Partition::ColumnRef> picked;
+
+  auto taken = [&](u32 row, u32 col) {
+    return std::any_of(avoid.begin(), avoid.end(),
+                       [&](const Partition::ColumnRef& c) {
+                         return c.row == row && c.column == col;
+                       });
+  };
+
+  // Scan rows starting from the preferred one; within a row take any
+  // column that still contributes to an uncovered requirement. This
+  // yields mostly-contiguous ranges because the device interleaves
+  // resource types.
+  for (u32 dr = 0; dr < dev.rows() && !have.covers(need); ++dr) {
+    const u32 row = (preferred_row + dr) % dev.rows();
+    for (u32 col = 0; col < dev.num_columns() && !have.covers(need); ++col) {
+      if (taken(row, col)) continue;
+      const auto r = resources_per_column(dev.column(col));
+      const bool useful = (r.luts > 0 && have.luts < need.luts) ||
+                          (r.ffs > 0 && have.ffs < need.ffs) ||
+                          (r.brams > 0 && have.brams < need.brams) ||
+                          (r.dsps > 0 && have.dsps < need.dsps);
+      if (!useful) continue;
+      picked.push_back({row, col});
+      have += r;
+    }
+  }
+  if (!have.covers(need)) return std::nullopt;
+  return Partition(std::move(name), std::move(picked));
+}
+
+Partition case_study_partition(const DeviceGeometry& dev) {
+  // The device's contiguous acceleration window, middle row.
+  std::vector<Partition::ColumnRef> cols;
+  const u32 row = dev.rows() / 2;
+  const u32 start = dev.accel_window_start();
+  for (u32 c = start; c < start + 13; ++c) cols.push_back({row, c});
+  return Partition("RP0", std::move(cols));
+}
+
+}  // namespace rvcap::fabric

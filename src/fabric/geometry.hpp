@@ -1,0 +1,169 @@
+// 7-series-style device geometry model.
+//
+// The device is a grid of clock-region rows x resource columns; each
+// column-row intersection is configured by a fixed number of frames of
+// kFrameWords 32-bit words. The constants below follow the 7-series
+// architecture (CLB columns of 50 CLBs per row, 36 frames per CLB
+// column, 28 per DSP column, 156 per BRAM column) with ONE calibrated
+// deviation: the model's frame length is 202 words instead of the
+// silicon's 101. This makes the paper's case-study partition — 3200
+// LUTs, 6400 FFs, 30 BRAMs, 20 DSPs = 8 CLB + 1 DSP + 3 BRAM + 1 CLK
+// column-rows = 805 frames — produce a partial bitstream of exactly
+// 650 892 bytes, the size the paper measures with (§IV-A). All derived
+// sizes (Fig. 3 sweep) scale from the same constants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "resources/resource_vec.hpp"
+
+namespace rvcap::fabric {
+
+enum class ColumnType : u8 { kClb, kDsp, kBram, kClk, kIo };
+
+constexpr std::string_view to_string(ColumnType t) {
+  switch (t) {
+    case ColumnType::kClb: return "CLB";
+    case ColumnType::kDsp: return "DSP";
+    case ColumnType::kBram: return "BRAM";
+    case ColumnType::kClk: return "CLK";
+    case ColumnType::kIo: return "IO";
+  }
+  return "?";
+}
+
+/// Words per configuration frame (see header comment for calibration).
+inline constexpr u32 kFrameWords = 202;
+
+/// Frames needed to configure one column within one row.
+constexpr u32 frames_per_column(ColumnType t) {
+  switch (t) {
+    case ColumnType::kClb: return 36;
+    case ColumnType::kDsp: return 28;
+    case ColumnType::kBram: return 156;  // 28 interconnect + 128 content
+    case ColumnType::kClk: return 21;
+    case ColumnType::kIo: return 44;
+  }
+  return 0;
+}
+
+/// Logic resources contained in one column-row.
+constexpr resources::ResourceVec resources_per_column(ColumnType t) {
+  switch (t) {
+    // 50 CLBs per row, 8 LUT / 16 FF per CLB.
+    case ColumnType::kClb: return {400, 800, 0, 0};
+    case ColumnType::kDsp: return {0, 0, 0, 20};
+    case ColumnType::kBram: return {0, 0, 10, 0};
+    case ColumnType::kClk:
+    case ColumnType::kIo: return {};
+  }
+  return {};
+}
+
+/// Frame address: packed (block already folded into per-column frame
+/// counts, so FAR is row / column / minor). The minor field is 8 bits —
+/// wide enough for BRAM columns' 156 frames.
+struct FrameAddr {
+  u32 row = 0;
+  u32 column = 0;
+  u32 minor = 0;
+
+  constexpr u32 encode() const {
+    return (row << 18) | ((column & 0x3FF) << 8) | (minor & 0xFF);
+  }
+  static constexpr FrameAddr decode(u32 far) {
+    return {(far >> 18) & 0x3F, (far >> 8) & 0x3FF, far & 0xFF};
+  }
+  constexpr bool operator==(const FrameAddr&) const = default;
+};
+
+class DeviceGeometry {
+ public:
+  DeviceGeometry(std::string name, u32 rows, std::vector<ColumnType> columns,
+                 u32 accel_window_start);
+
+  /// The model of the Genesys2 board's Kintex-7 XC7K325T.
+  static DeviceGeometry kintex7_325t();
+  /// A smaller 7-series part (Arty-class Artix-7 XC7A100T): the
+  /// portability claim of the paper's conclusion — the same controller,
+  /// drivers and bitstream flow on a different device geometry.
+  static DeviceGeometry artix7_100t();
+
+  /// First column of the contiguous "acceleration window" that hosts
+  /// the case-study partition (CLK + 8 CLB + 3 BRAM + 1 DSP columns;
+  /// every model device provides one).
+  u32 accel_window_start() const { return accel_window_start_; }
+
+  const std::string& name() const { return name_; }
+  u32 rows() const { return rows_; }
+  u32 num_columns() const { return static_cast<u32>(columns_.size()); }
+  ColumnType column(u32 i) const { return columns_[i]; }
+
+  u32 frames_in_column(u32 col) const {
+    return frames_per_column(columns_[col]);
+  }
+  /// Total configuration frames on the device.
+  u32 total_frames() const;
+  resources::ResourceVec total_resources() const;
+
+  /// Advance a frame address by one frame in configuration order
+  /// (minor, then column, then row). Returns false past the end.
+  bool next_frame(FrameAddr* fa) const;
+  bool valid(const FrameAddr& fa) const;
+
+ private:
+  std::string name_;
+  u32 rows_;
+  std::vector<ColumnType> columns_;
+  u32 accel_window_start_;
+};
+
+/// A reconfigurable partition: a named set of column-rows (Xilinx
+/// pblocks may span multiple ranges, so contiguity is not required).
+class Partition {
+ public:
+  struct ColumnRef {
+    u32 row;
+    u32 column;
+    constexpr bool operator==(const ColumnRef&) const = default;
+  };
+
+  Partition(std::string name, std::vector<ColumnRef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnRef>& columns() const { return cols_; }
+
+  u32 frame_count(const DeviceGeometry& dev) const;
+  resources::ResourceVec resources(const DeviceGeometry& dev) const;
+  /// Partial-bitstream size in bytes for this partition (header/footer
+  /// words + frame payload; see bitstream::kControlWords).
+  u64 pbit_bytes(const DeviceGeometry& dev) const;
+
+  /// Frame addresses of the partition, in configuration order.
+  std::vector<FrameAddr> frame_addrs(const DeviceGeometry& dev) const;
+  /// First frame of the partition (carries the RM manifest).
+  FrameAddr base_frame(const DeviceGeometry& dev) const;
+  bool contains(const DeviceGeometry& dev, const FrameAddr& fa) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnRef> cols_;
+};
+
+/// Greedily pick columns (preferring a target row) to cover a resource
+/// requirement; returns std::nullopt when the device cannot host it.
+/// `avoid` lists column-rows already taken by other partitions or the
+/// static region.
+std::optional<Partition> plan_partition(
+    const DeviceGeometry& dev, std::string name,
+    const resources::ResourceVec& need, u32 preferred_row = 0,
+    const std::vector<Partition::ColumnRef>& avoid = {});
+
+/// The paper's case-study RP: 3200 LUT / 6400 FF / 30 BRAM / 20 DSP.
+Partition case_study_partition(const DeviceGeometry& dev);
+
+}  // namespace rvcap::fabric

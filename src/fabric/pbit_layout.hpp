@@ -1,0 +1,28 @@
+// Partial-bitstream size layout constants, shared between the fabric
+// (which predicts sizes, e.g. for Fig. 3) and the bitstream writer
+// (which must produce exactly these sizes; asserted in tests).
+//
+// A partial bitstream is:
+//   fixed control prologue + epilogue   kPbitFixedControlWords
+//   per contiguous column range         kPbitWordsPerRange
+//       (FAR write = 2, FDRI type-1 = 1, FDRI type-2 = 1)
+//   frame payload                       frames * kFrameWords
+//
+// With one range this gives 113 control words, so the paper's 805-frame
+// case-study RP is 4 * (113 + 805*202) = 650 892 bytes — the pbit size
+// reported in §IV-A.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rvcap::fabric {
+
+inline constexpr u32 kPbitWordsPerRange = 4;
+inline constexpr u32 kPbitFixedControlWords = 109;
+
+/// Number of contiguous column ranges in a partition (declared here to
+/// avoid a geometry<->layout cycle; defined in geometry.cpp).
+class Partition;
+u32 count_ranges(const Partition& p);
+
+}  // namespace rvcap::fabric

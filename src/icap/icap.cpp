@@ -1,0 +1,192 @@
+#include "icap/icap.hpp"
+
+#include "common/log.hpp"
+
+namespace rvcap::icap {
+
+using bitstream::Cmd;
+using bitstream::ConfigReg;
+using bitstream::decode_packet;
+using bitstream::PacketHeader;
+using bitstream::PacketOp;
+
+Icap::Icap(std::string name, fabric::ConfigMemory& cfg)
+    : Component(std::move(name)), cfg_(cfg) {
+  frame_buf_.reserve(fabric::kFrameWords);
+}
+
+void Icap::tick() {
+  ++now_;
+  // Half-duplex 32-bit port: while a readback drains, input stalls.
+  if (read_words_left_ > 0) {
+    emit_read_word();
+    return;
+  }
+  // One 32-bit word per cycle: the 400 MB/s physical ceiling.
+  if (auto w = in_.pop()) {
+    ++words_;
+    consume(*w);
+  }
+}
+
+bool Icap::busy() const { return in_.can_pop() || read_words_left_ > 0; }
+
+void Icap::start_readback(u32 words) {
+  read_words_left_ = words;
+  read_word_in_frame_ = 0;
+}
+
+void Icap::emit_read_word() {
+  if (!rdata_.can_push()) return;  // reader back-pressure
+  const fabric::FrameAddr fa = fabric::FrameAddr::decode(far_);
+  const std::vector<u32>* frame = cfg_.frame(fa);
+  const u32 word = (frame != nullptr && read_word_in_frame_ < frame->size())
+                       ? (*frame)[read_word_in_frame_]
+                       : 0;  // unwritten frames read back as zeros
+  rdata_.push(word);
+  ++words_read_back_;
+  if (++read_word_in_frame_ == fabric::kFrameWords) {
+    read_word_in_frame_ = 0;
+    fabric::FrameAddr next = fa;
+    if (cfg_.device().next_frame(&next)) far_ = next.encode();
+  }
+  --read_words_left_;
+}
+
+void Icap::consume(u32 word) {
+  switch (state_) {
+    case State::kUnsynced:
+      if (word == bitstream::kSyncWord) state_ = State::kSynced;
+      return;
+
+    case State::kSynced: {
+      const PacketHeader h = decode_packet(word);
+      if (h.type == 1) {
+        if (h.op == PacketOp::kNop) return;
+        if (h.op == PacketOp::kRead) {
+          // FDRO readback request (other registers read as no-ops).
+          if (h.reg == static_cast<u32>(ConfigReg::kFdro)) {
+            if (h.count == 0) {
+              fdro_pending_type2_ = true;
+            } else {
+              start_readback(h.count);
+            }
+          }
+          return;
+        }
+        if (h.op != PacketOp::kWrite) return;
+        cur_reg_ = h.reg;
+        payload_left_ = h.count;
+        if (cur_reg_ == static_cast<u32>(ConfigReg::kFdri) &&
+            payload_left_ == 0) {
+          fdri_pending_type2_ = true;
+          return;
+        }
+        if (payload_left_ > 0) state_ = State::kType1Data;
+        return;
+      }
+      if (h.type == 2 && h.op == PacketOp::kWrite && fdri_pending_type2_) {
+        fdri_pending_type2_ = false;
+        cur_reg_ = static_cast<u32>(ConfigReg::kFdri);
+        payload_left_ = h.count;
+        if (payload_left_ > 0) state_ = State::kType2Data;
+        return;
+      }
+      if (h.type == 2 && h.op == PacketOp::kRead && fdro_pending_type2_) {
+        fdro_pending_type2_ = false;
+        if (h.count > 0) start_readback(h.count);
+        return;
+      }
+      // Anything else between packets is a protocol violation; the real
+      // device would abort configuration. Log and ignore.
+      log_debug("icap: unexpected word 0x", std::hex, word);
+      return;
+    }
+
+    case State::kType1Data:
+    case State::kType2Data: {
+      const State before = state_;
+      reg_write(cur_reg_, word);
+      // DESYNC inside the payload moves to kUnsynced; keep that.
+      if (--payload_left_ == 0 && state_ == before) state_ = State::kSynced;
+      return;
+    }
+  }
+}
+
+void Icap::reg_write(u32 reg, u32 data) {
+  switch (static_cast<ConfigReg>(reg)) {
+    case ConfigReg::kCrc:
+      if (data != crc_.value()) {
+        crc_error_ = true;
+        cfg_.notify_crc_error();
+        log_warn("icap: CRC mismatch (expected 0x", std::hex, crc_.value(),
+                 ", got 0x", data, ")");
+      }
+      crc_.reset();
+      return;
+
+    case ConfigReg::kFar:
+      crc_.update(reg, data);
+      far_ = data;
+      frame_buf_.clear();
+      return;
+
+    case ConfigReg::kFdri:
+      crc_.update(reg, data);
+      frame_word(data);
+      return;
+
+    case ConfigReg::kIdcode:
+      crc_.update(reg, data);
+      if (data != bitstream::kIdCode) {
+        idcode_mismatch_ = true;
+        log_warn("icap: IDCODE mismatch");
+      }
+      return;
+
+    case ConfigReg::kCmd:
+      crc_.update(reg, data);
+      switch (static_cast<Cmd>(data)) {
+        case Cmd::kRcrc:
+          crc_.reset();
+          cfg_.notify_rcrc();
+          break;
+        case Cmd::kWcfg:
+          wcfg_ = true;
+          break;
+        case Cmd::kDesync:
+          state_ = State::kUnsynced;
+          wcfg_ = false;
+          frame_buf_.clear();
+          ++desyncs_;
+          last_desync_ = now_;
+          break;
+        default:
+          break;  // GRESTORE/LFRM/START: no functional effect here
+      }
+      return;
+
+    default:
+      crc_.update(reg, data);
+      return;
+  }
+}
+
+void Icap::frame_word(u32 data) {
+  if (!wcfg_ || idcode_mismatch_) return;  // not in write-config mode
+  frame_buf_.push_back(data);
+  if (frame_buf_.size() < fabric::kFrameWords) return;
+
+  const fabric::FrameAddr fa = fabric::FrameAddr::decode(far_);
+  cfg_.write_frame(fa, frame_buf_);
+  ++frames_committed_;
+  frame_buf_.clear();
+  // FAR auto-increment in device configuration order.
+  fabric::FrameAddr next = fa;
+  if (cfg_.device().next_frame(&next)) {
+    far_ = next.encode();
+  }
+}
+
+}  // namespace rvcap::icap

@@ -1,0 +1,38 @@
+#include "irq/clint.hpp"
+
+namespace rvcap::irq {
+
+Clint::Clint(std::string name) : AxiLiteSlave(std::move(name)) {}
+
+void Clint::device_tick() {
+  if (++divider_ >= kCyclesPerClintTick) {
+    divider_ = 0;
+    ++mtime_;
+  }
+}
+
+u32 Clint::read_reg(Addr addr) {
+  switch (addr & 0xFFFF) {
+    case kMsip: return msip_ ? 1 : 0;
+    case kMtimecmpLo: return static_cast<u32>(mtimecmp_);
+    case kMtimecmpHi: return static_cast<u32>(mtimecmp_ >> 32);
+    case kMtimeLo: return static_cast<u32>(mtime_);
+    case kMtimeHi: return static_cast<u32>(mtime_ >> 32);
+    default: return 0;
+  }
+}
+
+void Clint::write_reg(Addr addr, u32 value) {
+  switch (addr & 0xFFFF) {
+    case kMsip: msip_ = (value & 1) != 0; break;
+    case kMtimecmpLo:
+      mtimecmp_ = (mtimecmp_ & ~u64{0xFFFFFFFF}) | value;
+      break;
+    case kMtimecmpHi:
+      mtimecmp_ = (mtimecmp_ & 0xFFFFFFFF) | (u64{value} << 32);
+      break;
+    default: break;  // mtime itself is read-only in this SoC
+  }
+}
+
+}  // namespace rvcap::irq

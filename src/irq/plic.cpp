@@ -1,0 +1,98 @@
+#include "irq/plic.hpp"
+
+namespace rvcap::irq {
+
+Plic::Plic(std::string name, u32 num_sources)
+    : AxiLiteSlave(std::move(name)),
+      level_(num_sources + 1, false),
+      pending_(num_sources + 1, false),
+      in_flight_(num_sources + 1, false),
+      priority_(num_sources + 1, 1),
+      enable_(num_sources + 1, false) {}
+
+void Plic::set_source_level(u32 source, bool level) {
+  if (source == 0 || source >= level_.size()) return;
+  level_[source] = level;
+}
+
+void Plic::device_tick() {
+  // Gateways: latch pending on high level unless already in flight.
+  for (u32 s = 1; s < level_.size(); ++s) {
+    if (level_[s] && !in_flight_[s]) pending_[s] = true;
+  }
+}
+
+u32 Plic::best_pending() const {
+  u32 best = 0;
+  u32 best_prio = threshold_;
+  for (u32 s = 1; s < pending_.size(); ++s) {
+    if (pending_[s] && enable_[s] && priority_[s] > best_prio) {
+      best = s;
+      best_prio = priority_[s];
+    }
+  }
+  return best;
+}
+
+bool Plic::eip() const { return best_pending() != 0; }
+
+u32 Plic::read_reg(Addr addr) {
+  const Addr off = addr & 0x00FF'FFFF;
+  if (off >= kPriorityBase && off < kPriorityBase + 4 * priority_.size()) {
+    return priority_[off / 4];
+  }
+  if (off >= kPendingBase && off < kPendingBase + 0x80) {
+    const u32 word = static_cast<u32>((off - kPendingBase) / 4);
+    u32 v = 0;
+    for (u32 b = 0; b < 32; ++b) {
+      const u32 s = word * 32 + b;
+      if (s < pending_.size() && pending_[s]) v |= (1u << b);
+    }
+    return v;
+  }
+  if (off >= kEnableBase && off < kEnableBase + 0x80) {
+    const u32 word = static_cast<u32>((off - kEnableBase) / 4);
+    u32 v = 0;
+    for (u32 b = 0; b < 32; ++b) {
+      const u32 s = word * 32 + b;
+      if (s < enable_.size() && enable_[s]) v |= (1u << b);
+    }
+    return v;
+  }
+  if (off == kThreshold) return threshold_;
+  if (off == kClaimComplete) {
+    const u32 s = best_pending();
+    if (s != 0) {
+      pending_[s] = false;
+      in_flight_[s] = true;
+    }
+    return s;
+  }
+  return 0;
+}
+
+void Plic::write_reg(Addr addr, u32 value) {
+  const Addr off = addr & 0x00FF'FFFF;
+  if (off >= kPriorityBase && off < kPriorityBase + 4 * priority_.size()) {
+    priority_[off / 4] = value & 0x7;
+    return;
+  }
+  if (off >= kEnableBase && off < kEnableBase + 0x80) {
+    const u32 word = static_cast<u32>((off - kEnableBase) / 4);
+    for (u32 b = 0; b < 32; ++b) {
+      const u32 s = word * 32 + b;
+      if (s != 0 && s < enable_.size()) enable_[s] = (value >> b) & 1;
+    }
+    return;
+  }
+  if (off == kThreshold) {
+    threshold_ = value & 0x7;
+    return;
+  }
+  if (off == kClaimComplete) {
+    if (value < in_flight_.size()) in_flight_[value] = false;
+    return;
+  }
+}
+
+}  // namespace rvcap::irq

@@ -1,0 +1,54 @@
+// On-chip SRAM (boot memory) — single-cycle BRAM-backed AXI subordinate.
+//
+// The paper's SoC keeps application instructions in on-chip boot memory;
+// the reproduction also uses it to hold the RM metadata table that
+// init_RModules fills in.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "sim/component.hpp"
+
+namespace rvcap::mem {
+
+class AxiSram : public sim::Component {
+ public:
+  /// `bus_base`: the window base the crossbar maps this SRAM at; bus
+  /// addresses are translated to internal offsets by subtracting it.
+  AxiSram(std::string name, u64 size_bytes, Addr bus_base = 0);
+
+  axi::AxiPort& port() { return port_; }
+  u64 size_bytes() const { return data_.size(); }
+
+  void tick() override;
+  bool busy() const override;
+
+  // Backdoor.
+  void poke(Addr addr, std::span<const u8> bytes);
+  void peek(Addr addr, std::span<u8> out) const;
+
+ private:
+  struct ReadJob {
+    Addr addr;
+    u32 beats_left;
+  };
+  struct WriteJob {
+    Addr addr;
+    u32 beats_left;
+  };
+
+  u64 read_beat(Addr a) const;
+  void write_beat(Addr a, u64 data, u8 strb);
+
+  axi::AxiPort port_;
+  Addr bus_base_;
+  std::vector<u8> data_;
+  std::deque<ReadJob> reads_;
+  std::deque<WriteJob> writes_;
+  u32 pending_b_ = 0;
+};
+
+}  // namespace rvcap::mem

@@ -1,0 +1,95 @@
+#include "resources/database.hpp"
+
+#include <stdexcept>
+
+namespace rvcap::resources {
+
+void ResourceDb::add(Entry e) { entries_.push_back(std::move(e)); }
+
+const Entry* ResourceDb::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+ResourceVec ResourceDb::total(std::span<const std::string_view> names) const {
+  ResourceVec sum;
+  for (std::string_view n : names) {
+    const Entry* e = find(n);
+    if (e == nullptr) {
+      throw std::out_of_range("ResourceDb: unknown entry " + std::string(n));
+    }
+    sum += e->res;
+  }
+  return sum;
+}
+
+std::vector<const Entry*> ResourceDb::under(std::string_view prefix) const {
+  std::vector<const Entry*> out;
+  for (const Entry& e : entries_) {
+    if (e.name.size() > prefix.size() &&
+        std::string_view(e.name).substr(0, prefix.size()) == prefix) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+UtilizationPct utilization_pct(const ResourceVec& used,
+                               const ResourceVec& available) {
+  auto pct = [](u32 u, u32 a) {
+    return a == 0 ? 0.0 : 100.0 * static_cast<double>(u) / a;
+  };
+  return UtilizationPct{pct(used.luts, available.luts),
+                        pct(used.ffs, available.ffs),
+                        pct(used.brams, available.brams),
+                        pct(used.dsps, available.dsps)};
+}
+
+ResourceDb ResourceDb::paper_database() {
+  ResourceDb db;
+  const auto P = Source::kPaperReported;
+  const auto L = Source::kLiterature;
+
+  // ---- Table I: the two controller deployments on the Ariane SoC ----
+  db.add({"rvcap.rp_ctrl_axi", {420, 909, 0, 0}, P,
+          "RP controller + AXI modules (width/protocol converters, "
+          "stream switch, AXIS2ICAP)"});
+  db.add({"rvcap.dma", {1897, 3044, 6, 0}, P,
+          "soft DMA controller incl. internal buffers"});
+  db.add({"hwicap_deploy.axi_modules", {909, 964, 0, 0}, P,
+          "HWICAP-side width/protocol converters + PR decoupler"});
+  db.add({"hwicap_deploy.axi_hwicap", {468, 1236, 2, 0}, P,
+          "Xilinx AXI_HWICAP core, write FIFO resized to 1024"});
+
+  // ---- Table II: state-of-the-art DPR controllers ----
+  db.add({"soa.vipin", {586, 672, 8, 0}, L, "Vipin et al. [12], MicroBlaze"});
+  db.add({"soa.zycap", {620, 806, 0, 0}, L, "ZyCAP [13], ARM"});
+  db.add({"soa.anderson", {588, 278, 1, 0}, L, "Di Carlo et al. [14], LEON3"});
+  db.add({"soa.ac_icap", {1286, 1193, 22, 0}, L, "AC_ICAP [16], MicroBlaze"});
+  db.add({"soa.rt_icap", {289, 105, 0, 0}, L, "RT-ICAP [15], Patmos"});
+  db.add({"soa.pcap", {0, 0, 0, 0}, L, "PCAP [24], hard block, ARM"});
+  db.add({"soa.xilinx_prc", {1171, 1203, 0, 0}, L, "Xilinx PRC [25], ARM"});
+  db.add({"soa.axi_hwicap_arm", {538, 688, 0, 0}, L,
+          "Xilinx AXI_HWICAP [26], ARM"});
+  db.add({"soa.axi_hwicap_rv64", {1377, 2200, 2, 0}, P,
+          "AXI_HWICAP with RV64GC (this paper's baseline port)"});
+  db.add({"soa.rvcap", {2317, 3953, 6, 0}, P, "RV-CAP (this paper)"});
+
+  // ---- Table III: full SoC with one RP ----
+  db.add({"soc.full", {74393, 64059, 92, 47}, P, "Full SoC"});
+  db.add({"soc.ariane_core", {39940, 22500, 36, 27}, P, "Ariane core"});
+  db.add({"soc.peripherals_bootmem", {28832, 31404, 20, 0}, P,
+          "Peripherals & boot memory"});
+  db.add({"soc.rvcap_controller", {2421, 3755, 6, 0}, P,
+          "RV-CAP controller (in-SoC synthesis context)"});
+  db.add({"soc.rp", {3200, 6400, 30, 20}, P, "Reconfigurable partition"});
+  db.add({"soc.rm.gaussian", {901, 773, 4, 0}, P, "Gaussian RM"});
+  db.add({"soc.rm.median", {2325, 998, 2, 0}, P, "Median RM"});
+  db.add({"soc.rm.sobel", {1830, 3224, 2, 16}, P, "Sobel RM"});
+
+  return db;
+}
+
+}  // namespace rvcap::resources

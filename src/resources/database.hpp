@@ -1,0 +1,73 @@
+// Resource-utilization database for Tables I, II and III.
+//
+// Vivado synthesis reports cannot be regenerated inside a simulation,
+// so utilization numbers are data, not measurements. Every entry is
+// tagged with its provenance: kPaperReported for the RV-CAP paper's own
+// synthesis results, kLiterature for numbers quoted from related work,
+// kModelDerived for quantities our fabric model computes (partition
+// sizes, device totals). The bench harnesses aggregate entries the same
+// way the paper's tables do — the aggregation identities (e.g. the
+// full-SoC row being the sum of its components) are tested.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resources/resource_vec.hpp"
+
+namespace rvcap::resources {
+
+enum class Source : u8 {
+  kPaperReported,  // RV-CAP paper, Tables I/III
+  kLiterature,     // related-work papers (Table II)
+  kModelDerived,   // computed by this reproduction's fabric model
+};
+
+constexpr std::string_view to_string(Source s) {
+  switch (s) {
+    case Source::kPaperReported: return "paper";
+    case Source::kLiterature: return "literature";
+    case Source::kModelDerived: return "model";
+  }
+  return "?";
+}
+
+struct Entry {
+  std::string name;  // hierarchical, e.g. "rvcap.dma"
+  ResourceVec res;
+  Source source = Source::kPaperReported;
+  std::string note;
+};
+
+class ResourceDb {
+ public:
+  void add(Entry e);
+  const Entry* find(std::string_view name) const;
+
+  /// Sum of the named entries (missing names throw std::out_of_range).
+  ResourceVec total(std::span<const std::string_view> names) const;
+
+  /// All entries under a hierarchical prefix ("rvcap." ...).
+  std::vector<const Entry*> under(std::string_view prefix) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The reproduction's database, populated from the paper's tables.
+  static ResourceDb paper_database();
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Percentage utilization of `used` within `available`, per column —
+/// the parenthesised percentages of Table III's RM rows.
+struct UtilizationPct {
+  double luts = 0, ffs = 0, brams = 0, dsps = 0;
+};
+UtilizationPct utilization_pct(const ResourceVec& used,
+                               const ResourceVec& available);
+
+}  // namespace rvcap::resources

@@ -1,0 +1,40 @@
+// FPGA resource quantities (LUT / FF / BRAM36 / DSP48).
+//
+// Tables I, II and III of the paper are resource accounting over these
+// four columns; the fabric model also uses them to size reconfigurable
+// partitions.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rvcap::resources {
+
+struct ResourceVec {
+  u32 luts = 0;
+  u32 ffs = 0;
+  u32 brams = 0;  // RAMB36 equivalents
+  u32 dsps = 0;
+
+  constexpr ResourceVec operator+(const ResourceVec& o) const {
+    return {luts + o.luts, ffs + o.ffs, brams + o.brams, dsps + o.dsps};
+  }
+  constexpr ResourceVec& operator+=(const ResourceVec& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    brams += o.brams;
+    dsps += o.dsps;
+    return *this;
+  }
+  constexpr ResourceVec operator*(u32 k) const {
+    return {luts * k, ffs * k, brams * k, dsps * k};
+  }
+  constexpr bool operator==(const ResourceVec&) const = default;
+
+  /// Componentwise "fits inside" (used for RP sizing).
+  constexpr bool covers(const ResourceVec& need) const {
+    return luts >= need.luts && ffs >= need.ffs && brams >= need.brams &&
+           dsps >= need.dsps;
+  }
+};
+
+}  // namespace rvcap::resources

@@ -1,0 +1,34 @@
+#include "rvcap/axis2icap.hpp"
+
+namespace rvcap::rvcap_ctrl {
+
+Axis2Icap::Axis2Icap(std::string name, axi::AxisFifo& in,
+                     sim::Fifo<u32>& icap_port)
+    : Component(std::move(name)), in_(in), out_(icap_port) {}
+
+void Axis2Icap::tick() {
+  if (!out_.can_push()) return;  // ICAP back-pressure
+
+  if (have_high_) {
+    out_.push(high_word_);
+    ++words_;
+    have_high_ = false;
+    return;
+  }
+  if (const axi::AxisBeat* b = in_.front()) {
+    const u32 lo = static_cast<u32>(b->data & 0xFFFFFFFF);
+    const u32 hi = static_cast<u32>(b->data >> 32);
+    const bool hi_valid = (b->keep & 0xF0) != 0;
+    out_.push(bswap(lo));
+    ++words_;
+    if (hi_valid) {
+      high_word_ = bswap(hi);
+      have_high_ = true;
+    }
+    in_.pop();
+  }
+}
+
+bool Axis2Icap::busy() const { return have_high_ || in_.can_pop(); }
+
+}  // namespace rvcap::rvcap_ctrl

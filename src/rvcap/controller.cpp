@@ -1,0 +1,70 @@
+#include "rvcap/controller.hpp"
+
+#include <cassert>
+
+namespace rvcap::rvcap_ctrl {
+
+RvCapController::RvCapController(icap::Icap& icap, axi::AxiPort& ddr_port,
+                                 const axi::AddrRange& ddr_window,
+                                 const AxiDma::Config& dma_cfg)
+    : dma_("rvcap.dma", dma_cfg),
+      switch_("rvcap.axis_switch"),
+      decomp_("rvcap.decompressor", switch_.to_icap(), decomp_out_),
+      axis2icap_("rvcap.axis2icap", decomp_out_, icap.port()),
+      icap2axis_("rvcap.icap2axis", icap.read_port(), switch_.from_icap()),
+      isolator_("rvcap.isolator"),
+      rp_ctrl_("rvcap.rp_ctrl", isolator_, switch_),
+      ddr_xbar_("rvcap.ddr_xbar"),
+      dma_ctrl_conv_("rvcap.dma_ctrl.widthconv"),
+      dma_ctrl_bridge_("rvcap.dma_ctrl.litebridge"),
+      rp_ctrl_conv_("rvcap.rp_ctrl.widthconv"),
+      rp_ctrl_bridge_("rvcap.rp_ctrl.litebridge"),
+      w_dma_conv_bridge_("rvcap.w0", dma_ctrl_conv_.downstream(),
+                         dma_ctrl_bridge_.upstream()),
+      w_dma_bridge_dev_("rvcap.w1", dma_ctrl_bridge_.downstream(),
+                        dma_.port()),
+      w_rp_conv_bridge_("rvcap.w2", rp_ctrl_conv_.downstream(),
+                        rp_ctrl_bridge_.upstream()),
+      w_rp_bridge_dev_("rvcap.w3", rp_ctrl_bridge_.downstream(),
+                       rp_ctrl_.port()),
+      w_dma_to_switch_("rvcap.w4", dma_.mm2s_stream(), switch_.from_dma()),
+      w_switch_to_iso_("rvcap.w5", switch_.to_rm(), isolator_.in_to_rp()),
+      w_iso_to_switch_("rvcap.w6", isolator_.out_from_rp(),
+                       switch_.from_rm()),
+      w_switch_to_dma_("rvcap.w7", switch_.to_dma(), dma_.s2mm_stream()) {
+  // Additional crossbar: manager 0 = CPU path, manager 1 = DMA.
+  ddr_xbar_.add_manager(&main_bus_ddr_port_);
+  ddr_xbar_.add_manager(&dma_.mem_port());
+  ddr_xbar_.add_subordinate(ddr_window, &ddr_port);
+  rp_ctrl_.attach_decompressor(&decomp_);
+  icap2axis_.set_gate(&switch_);
+}
+
+void RvCapController::register_components(sim::Simulator& sim) {
+  assert(!registered_);
+  registered_ = true;
+  // Dataflow order: control converters first, then engines, then the
+  // stream fabric toward the ICAP/RM.
+  sim.add(&dma_ctrl_conv_);
+  sim.add(&w_dma_conv_bridge_);
+  sim.add(&dma_ctrl_bridge_);
+  sim.add(&w_dma_bridge_dev_);
+  sim.add(&rp_ctrl_conv_);
+  sim.add(&w_rp_conv_bridge_);
+  sim.add(&rp_ctrl_bridge_);
+  sim.add(&w_rp_bridge_dev_);
+  sim.add(&rp_ctrl_);
+  sim.add(&ddr_xbar_);
+  sim.add(&dma_);
+  sim.add(&w_dma_to_switch_);
+  sim.add(&switch_);
+  sim.add(&decomp_);
+  sim.add(&axis2icap_);
+  sim.add(&icap2axis_);
+  sim.add(&w_switch_to_iso_);
+  sim.add(&isolator_);
+  sim.add(&w_iso_to_switch_);
+  sim.add(&w_switch_to_dma_);
+}
+
+}  // namespace rvcap::rvcap_ctrl

@@ -1,0 +1,191 @@
+#include "rvcap/dma.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace rvcap::rvcap_ctrl {
+
+AxiDma::AxiDma(std::string name, const Config& cfg)
+    : AxiLiteSlave(std::move(name)), cfg_(cfg) {
+  s2mm_buf_.reserve(cfg_.max_burst_beats);
+}
+
+u32 AxiDma::read_reg(Addr addr) {
+  switch (addr & 0xFF) {
+    case kMm2sCr: return mm2s_cr_;
+    case kMm2sSr: return mm2s_sr_;
+    case kMm2sSa: return static_cast<u32>(mm2s_sa_);
+    case kMm2sSaMsb: return static_cast<u32>(mm2s_sa_ >> 32);
+    case kS2mmCr: return s2mm_cr_;
+    case kS2mmSr: return s2mm_sr_;
+    case kS2mmDa: return static_cast<u32>(s2mm_da_);
+    case kS2mmDaMsb: return static_cast<u32>(s2mm_da_ >> 32);
+    default: return 0;
+  }
+}
+
+void AxiDma::write_reg(Addr addr, u32 value) {
+  switch (addr & 0xFF) {
+    case kMm2sCr:
+      if (value & kCrReset) {
+        mm2s_cr_ = 0;
+        mm2s_sr_ = kSrHalted;
+        mm2s_job_.reset();
+        mm2s_bursts_outstanding_ = 0;
+        break;
+      }
+      mm2s_cr_ = value;
+      if (value & kCrRunStop) {
+        mm2s_sr_ &= ~kSrHalted;
+      } else {
+        mm2s_sr_ |= kSrHalted;
+      }
+      break;
+    case kMm2sSr:
+      mm2s_sr_ &= ~(value & kSrIocIrq);  // write-1-to-clear
+      break;
+    case kMm2sSa:
+      mm2s_sa_ = (mm2s_sa_ & ~u64{0xFFFFFFFF}) | value;
+      break;
+    case kMm2sSaMsb:
+      mm2s_sa_ = (mm2s_sa_ & 0xFFFFFFFF) | (u64{value} << 32);
+      break;
+    case kMm2sLength: {
+      const u64 bytes = value & 0x03FFFFFF;
+      if ((mm2s_cr_ & kCrRunStop) && bytes > 0 && !mm2s_job_.has_value()) {
+        mm2s_job_ = Mm2sJob{mm2s_sa_, bytes, (bytes + 7) / 8};
+        mm2s_sr_ &= ~kSrIdle;
+      } else {
+        log_warn("dma: MM2S length write ignored (halted or busy)");
+      }
+      break;
+    }
+    case kS2mmCr:
+      if (value & kCrReset) {
+        s2mm_cr_ = 0;
+        s2mm_sr_ = kSrHalted;
+        s2mm_job_.reset();
+        s2mm_buf_.clear();
+        break;
+      }
+      s2mm_cr_ = value;
+      if (value & kCrRunStop) {
+        s2mm_sr_ &= ~kSrHalted;
+      } else {
+        s2mm_sr_ |= kSrHalted;
+      }
+      break;
+    case kS2mmSr:
+      s2mm_sr_ &= ~(value & kSrIocIrq);
+      break;
+    case kS2mmDa:
+      s2mm_da_ = (s2mm_da_ & ~u64{0xFFFFFFFF}) | value;
+      break;
+    case kS2mmDaMsb:
+      s2mm_da_ = (s2mm_da_ & 0xFFFFFFFF) | (u64{value} << 32);
+      break;
+    case kS2mmLength: {
+      const u64 bytes = value & 0x03FFFFFF;
+      if ((s2mm_cr_ & kCrRunStop) && bytes > 0 && !s2mm_job_.has_value()) {
+        s2mm_job_ = S2mmJob{s2mm_da_, bytes};
+        s2mm_sr_ &= ~kSrIdle;
+      } else {
+        log_warn("dma: S2MM length write ignored (halted or busy)");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  update_irqs();
+}
+
+void AxiDma::device_tick() {
+  tick_mm2s();
+  tick_s2mm();
+  update_irqs();
+}
+
+void AxiDma::tick_mm2s() {
+  if (!mm2s_job_.has_value()) return;
+  Mm2sJob& j = *mm2s_job_;
+
+  // Issue read bursts, keeping up to max_outstanding in flight.
+  if (j.bytes_left_to_request > 0 &&
+      mm2s_bursts_outstanding_ < cfg_.max_outstanding &&
+      mem_.ar.can_push()) {
+    const u64 beats_needed = (j.bytes_left_to_request + 7) / 8;
+    const u32 beats =
+        static_cast<u32>(std::min<u64>(beats_needed, cfg_.max_burst_beats));
+    mem_.ar.push(axi::AxiAr{j.addr, static_cast<u8>(beats - 1), 3});
+    j.addr += u64{beats} * 8;
+    j.bytes_left_to_request -=
+        std::min<u64>(j.bytes_left_to_request, u64{beats} * 8);
+    ++mm2s_bursts_outstanding_;
+  }
+
+  // Move read data into the output stream, one beat per cycle.
+  if (mem_.r.can_pop() && mm2s_out_.can_push()) {
+    const axi::AxiR r = *mem_.r.pop();
+    const bool stream_last = (j.beats_left_to_stream == 1);
+    mm2s_out_.push(axi::AxisBeat{r.data, 0xFF, stream_last});
+    if (r.last) --mm2s_bursts_outstanding_;
+    if (--j.beats_left_to_stream == 0) {
+      mm2s_job_.reset();
+      mm2s_sr_ |= kSrIdle | kSrIocIrq;
+      ++mm2s_done_count_;
+    }
+  }
+}
+
+void AxiDma::tick_s2mm() {
+  if (!s2mm_job_.has_value()) return;
+  S2mmJob& j = *s2mm_job_;
+
+  // Accept stream beats into the burst buffer, one per cycle.
+  if (j.bytes_left > 0 && s2mm_buf_.size() < cfg_.max_burst_beats &&
+      s2mm_in_.can_pop()) {
+    const axi::AxisBeat b = *s2mm_in_.pop();
+    s2mm_buf_.push_back(b);
+    j.bytes_left -= std::min<u64>(j.bytes_left, std::popcount(b.keep));
+  }
+
+  // Flush a full burst (or the final partial burst).
+  const bool final_flush = (j.bytes_left == 0 && !s2mm_buf_.empty());
+  if ((s2mm_buf_.size() == cfg_.max_burst_beats || final_flush) &&
+      mem_.aw.can_push() && mem_.w.vacancy() >= s2mm_buf_.size()) {
+    mem_.aw.push(axi::AxiAw{
+        j.addr, static_cast<u8>(s2mm_buf_.size() - 1), 3});
+    for (usize i = 0; i < s2mm_buf_.size(); ++i) {
+      mem_.w.push(axi::AxiW{s2mm_buf_[i].data, s2mm_buf_[i].keep,
+                            i + 1 == s2mm_buf_.size()});
+    }
+    j.addr += s2mm_buf_.size() * 8;
+    s2mm_buf_.clear();
+    ++j.bursts_in_flight;
+  }
+
+  // Retire write responses.
+  if (mem_.b.can_pop()) {
+    mem_.b.pop();
+    --j.bursts_in_flight;
+  }
+
+  if (j.bytes_left == 0 && s2mm_buf_.empty() && j.bursts_in_flight == 0) {
+    s2mm_job_.reset();
+    s2mm_sr_ |= kSrIdle | kSrIocIrq;
+  }
+}
+
+void AxiDma::update_irqs() {
+  mm2s_irq_.set((mm2s_sr_ & kSrIocIrq) && (mm2s_cr_ & kCrIocIrqEn));
+  s2mm_irq_.set((s2mm_sr_ & kSrIocIrq) && (s2mm_cr_ & kCrIocIrqEn));
+}
+
+bool AxiDma::device_busy() const {
+  return mm2s_job_.has_value() || s2mm_job_.has_value() || !mem_.idle() ||
+         mm2s_out_.can_pop() || s2mm_in_.can_pop();
+}
+
+}  // namespace rvcap::rvcap_ctrl

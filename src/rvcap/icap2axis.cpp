@@ -1,0 +1,30 @@
+#include "rvcap/icap2axis.hpp"
+
+namespace rvcap::rvcap_ctrl {
+
+Icap2Axis::Icap2Axis(std::string name, sim::Fifo<u32>& icap_read_port,
+                     axi::AxisFifo& out)
+    : Component(std::move(name)), in_(icap_read_port), out_(out) {}
+
+void Icap2Axis::tick() {
+  // One 32-bit word per cycle from the port; a beat leaves every two.
+  if (gate_ != nullptr && !gate_->select_icap()) return;
+  if (!in_.can_pop()) return;
+  if (!have_low_) {
+    low_word_ = bswap(*in_.pop());
+    have_low_ = true;
+    return;
+  }
+  if (!out_.can_push()) return;  // hold the high word until space frees
+  const u32 high = bswap(*in_.pop());
+  out_.push(axi::AxisBeat{(u64{high} << 32) | low_word_, 0xFF, false});
+  ++beats_;
+  have_low_ = false;
+}
+
+bool Icap2Axis::busy() const {
+  if (gate_ != nullptr && !gate_->select_icap()) return have_low_;
+  return have_low_ || in_.can_pop();
+}
+
+}  // namespace rvcap::rvcap_ctrl

@@ -1,0 +1,62 @@
+#include "rvcap/rp_control.hpp"
+
+#include "rvcap/decompressor.hpp"
+
+namespace rvcap::rvcap_ctrl {
+
+RpControl::RpControl(std::string name, axi::AxisIsolator& isolator,
+                     axi::AxisSwitch& axis_switch)
+    : AxiLiteSlave(std::move(name)), isolator_(isolator),
+      switch_(axis_switch) {}
+
+u32 RpControl::read_reg(Addr addr) {
+  const Addr off = addr & 0xFF;
+  if (off == kControl) {
+    return (decouple_ ? kCtlDecouple : 0) |
+           (select_icap_ ? kCtlSelectIcap : 0) |
+           (decompress_ ? kCtlDecompress : 0);
+  }
+  if (off == kStatus) {
+    u32 st = 0;
+    if (decouple_) st |= kStDecoupled;
+    if (select_icap_) st |= kStIcapSelected;
+    if (rm_ != nullptr) st |= kStRmActive;
+    if (decompress_) st |= kStDecompress;
+    if (decomp_ != nullptr && decomp_->busy()) st |= kStDraining;
+    st |= (rm_id_ & 0xFF) << 8;
+    return st;
+  }
+  if (off >= kRmRegBase && off < kRmRegBase + 4 * kNumRmRegs) {
+    if (decouple_ || rm_ == nullptr) {
+      ++blocked_accesses_;  // decoupled: fabric reads back zeros
+      return 0;
+    }
+    return rm_->rm_reg_read(static_cast<u32>((off - kRmRegBase) / 4));
+  }
+  return 0;
+}
+
+void RpControl::write_reg(Addr addr, u32 value) {
+  const Addr off = addr & 0xFF;
+  if (off == kControl) {
+    decouple_ = (value & kCtlDecouple) != 0;
+    select_icap_ = (value & kCtlSelectIcap) != 0;
+    isolator_.set_decoupled(decouple_);
+    switch_.set_select_icap(select_icap_);
+    const bool want_decompress = (value & kCtlDecompress) != 0;
+    if (want_decompress != decompress_) {
+      decompress_ = want_decompress;
+      if (decomp_ != nullptr) decomp_->set_enabled(decompress_);
+    }
+    return;
+  }
+  if (off >= kRmRegBase && off < kRmRegBase + 4 * kNumRmRegs) {
+    if (decouple_ || rm_ == nullptr) {
+      ++blocked_accesses_;  // dropped while isolated
+      return;
+    }
+    rm_->rm_reg_write(static_cast<u32>((off - kRmRegBase) / 4), value);
+  }
+}
+
+}  // namespace rvcap::rvcap_ctrl

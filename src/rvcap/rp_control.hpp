@@ -1,0 +1,81 @@
+// RP control interface (Fig. 2 component 3).
+//
+// The memory-mapped block the driver's decouple_accel()/select_ICAP()
+// calls hit: it drives the AXI isolator's decouple input and the
+// AXI-Stream switch's select input, and forwards R/W control-register
+// accesses to the reconfigurable module when the partition is coupled.
+#pragma once
+
+#include <array>
+
+#include "axi/isolator.hpp"
+#include "axi/lite_slave.hpp"
+#include "axi/stream_switch.hpp"
+
+namespace rvcap::rvcap_ctrl {
+
+/// Control-register view a reconfigurable module exposes through the RP
+/// control interface while coupled.
+class RmRegisterFile {
+ public:
+  virtual ~RmRegisterFile() = default;
+  virtual u32 rm_reg_read(u32 index) = 0;
+  virtual void rm_reg_write(u32 index, u32 value) = 0;
+};
+
+class RpControl : public axi::AxiLiteSlave {
+ public:
+  static constexpr Addr kControl = 0x00;  // bit0 decouple, bit1 select_ICAP
+  static constexpr Addr kStatus = 0x04;
+  static constexpr Addr kRmRegBase = 0x10;  // 16 forwarded RM registers
+  static constexpr u32 kNumRmRegs = 16;
+
+  static constexpr u32 kCtlDecouple = 1u << 0;
+  static constexpr u32 kCtlSelectIcap = 1u << 1;
+  static constexpr u32 kCtlDecompress = 1u << 2;
+  static constexpr u32 kStDecoupled = 1u << 0;
+  static constexpr u32 kStIcapSelected = 1u << 1;
+  static constexpr u32 kStRmActive = 1u << 2;
+  static constexpr u32 kStDecompress = 1u << 3;
+  /// The ICAP-side datapath (decompressor) still holds in-flight data:
+  /// software must not flip routes until this clears.
+  static constexpr u32 kStDraining = 1u << 4;
+
+  RpControl(std::string name, axi::AxisIsolator& isolator,
+            axi::AxisSwitch& axis_switch);
+
+  /// Wire the optional bitstream decompressor (controlled by bit 2).
+  void attach_decompressor(class Decompressor* d) { decomp_ = d; }
+
+  /// The SoC wires the active RM's register file here (nullptr while
+  /// the partition holds no module).
+  void attach_rm(RmRegisterFile* rm, u32 rm_id) {
+    rm_ = rm;
+    rm_id_ = rm_id;
+  }
+  void detach_rm() {
+    rm_ = nullptr;
+    rm_id_ = 0;
+  }
+
+  bool decoupled() const { return decouple_; }
+  bool icap_selected() const { return select_icap_; }
+  u64 blocked_rm_accesses() const { return blocked_accesses_; }
+
+ protected:
+  u32 read_reg(Addr addr) override;
+  void write_reg(Addr addr, u32 value) override;
+
+ private:
+  axi::AxisIsolator& isolator_;
+  axi::AxisSwitch& switch_;
+  class Decompressor* decomp_ = nullptr;
+  bool decouple_ = false;
+  bool select_icap_ = false;
+  bool decompress_ = false;
+  RmRegisterFile* rm_ = nullptr;
+  u32 rm_id_ = 0;
+  u64 blocked_accesses_ = 0;
+};
+
+}  // namespace rvcap::rvcap_ctrl

@@ -1,0 +1,37 @@
+// Base class for clocked hardware components.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace rvcap::sim {
+
+/// A clocked component. The Simulator calls tick() exactly once per core
+/// clock cycle, in registration order. Components communicate only
+/// through Fifo channels, so the (deterministic) tick order introduces at
+/// most one cycle of skew on any link — negligible at the 10^5-cycle
+/// scale of the paper's measurements and fully reproducible.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Advance one core-clock cycle.
+  virtual void tick() = 0;
+
+  /// True while the component has unfinished internal work. The
+  /// simulator's run_until_idle() uses this to detect quiescence.
+  virtual bool busy() const { return false; }
+
+  std::string_view name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace rvcap::sim

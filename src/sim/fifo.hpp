@@ -1,0 +1,66 @@
+// Bounded FIFO channel — the hardware-handshake primitive of the model.
+//
+// Every valid/ready interface in the SoC (AXI channels, AXI-Stream links,
+// the ICAP input port, HWICAP's write FIFO) is modelled as a bounded
+// Fifo<T>. A producer that finds the FIFO full must retry next cycle,
+// which is exactly AXI back-pressure; a consumer draining at most one
+// element per tick models a 1-beat-per-cycle port. Throughput therefore
+// emerges from structure, not from annotated delays.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace rvcap::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(usize capacity) : capacity_(capacity) { assert(capacity_ > 0); }
+
+  bool can_push() const { return q_.size() < capacity_; }
+  bool can_pop() const { return !q_.empty(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+  usize size() const { return q_.size(); }
+  usize capacity() const { return capacity_; }
+  usize vacancy() const { return capacity_ - q_.size(); }
+
+  /// Push; returns false (and drops nothing) when full.
+  bool push(T v) {
+    if (full()) return false;
+    q_.push_back(std::move(v));
+    ++pushed_;
+    return true;
+  }
+
+  /// Peek the head without consuming; nullptr when empty.
+  const T* front() const { return q_.empty() ? nullptr : &q_.front(); }
+
+  /// Pop the head; std::nullopt when empty.
+  std::optional<T> pop() {
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    ++popped_;
+    return v;
+  }
+
+  void clear() { q_.clear(); }
+
+  /// Lifetime counters (used by tests and throughput probes).
+  u64 total_pushed() const { return pushed_; }
+  u64 total_popped() const { return popped_; }
+
+ private:
+  usize capacity_;
+  std::deque<T> q_;
+  u64 pushed_ = 0;
+  u64 popped_ = 0;
+};
+
+}  // namespace rvcap::sim

@@ -1,0 +1,7 @@
+// Intentionally header-only kernel; this TU anchors the library target.
+#include "sim/simulator.hpp"
+
+namespace rvcap::sim {
+// No out-of-line definitions: Simulator is header-only for inlining in
+// the hot tick loop.
+}  // namespace rvcap::sim

@@ -1,0 +1,75 @@
+// Cycle-stepped simulation kernel.
+//
+// A deliberately simple kernel: one global 100 MHz clock, components
+// ticked in registration order. The paper's measurements span 10^3..10^7
+// cycles, so a flat tick loop is both fast enough (tens of millions of
+// component-ticks per second) and easier to validate than a
+// discrete-event queue.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/component.hpp"
+
+namespace rvcap::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Register a component. The simulator does NOT own components; the
+  /// SoC assembly owns them and registers in dataflow order.
+  void add(Component* c) { components_.push_back(c); }
+
+  /// Current simulation time in core-clock cycles.
+  Cycles now() const { return now_; }
+
+  /// Advance exactly n cycles.
+  void run_cycles(Cycles n) {
+    const Cycles end = now_ + n;
+    while (now_ < end) step();
+  }
+
+  /// Advance until pred() is true, up to max_cycles more cycles.
+  /// Returns true when the predicate fired, false on cycle budget
+  /// exhaustion (a watchdog against deadlocked handshakes).
+  bool run_until(const std::function<bool()>& pred,
+                 Cycles max_cycles = kDefaultWatchdog) {
+    const Cycles end = now_ + max_cycles;
+    while (!pred()) {
+      if (now_ >= end) return false;
+      step();
+    }
+    return true;
+  }
+
+  /// Advance until every component reports !busy(), up to max_cycles.
+  bool run_until_idle(Cycles max_cycles = kDefaultWatchdog) {
+    return run_until([this] { return all_idle(); }, max_cycles);
+  }
+
+  /// Advance one cycle: tick every component once.
+  void step() {
+    for (Component* c : components_) c->tick();
+    ++now_;
+  }
+
+  bool all_idle() const {
+    for (const Component* c : components_)
+      if (c->busy()) return false;
+    return true;
+  }
+
+  usize component_count() const { return components_.size(); }
+
+  static constexpr Cycles kDefaultWatchdog = 500'000'000;
+
+ private:
+  std::vector<Component*> components_;
+  Cycles now_ = 0;
+};
+
+}  // namespace rvcap::sim

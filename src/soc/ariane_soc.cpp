@@ -1,0 +1,119 @@
+#include "soc/ariane_soc.hpp"
+
+namespace rvcap::soc {
+
+ArianeSoc::ArianeSoc(const SocConfig& cfg)
+    : cfg_(cfg),
+      dev_(cfg.device == DeviceModel::kArtix7_100t
+               ? fabric::DeviceGeometry::artix7_100t()
+               : fabric::DeviceGeometry::kintex7_325t()),
+      cfg_mem_(dev_),
+      icap_("icap", cfg_mem_),
+      rp0_(fabric::case_study_partition(dev_)),
+      rp0_handle_(cfg_mem_.register_partition(rp0_)),
+      ddr_("ddr", cfg.ddr),
+      boot_("boot_mem", MemoryMap::kBootMem.size, MemoryMap::kBootMem.base),
+      clint_("clint"),
+      plic_("plic", IrqMap::kNumSources),
+      uart_("uart"),
+      sd_(cfg.sd_blocks),
+      spi_("spi", sd_, cfg.spi_clock_divider),
+      cpu_(sim_, cfg.timing),
+      main_xbar_("main_xbar"),
+      periph_conv_("periph.widthconv"),
+      periph_bridge_("periph.litebridge"),
+      periph_bus_("periph.litebus"),
+      periph_w0_("periph.w0", periph_conv_.downstream(),
+                 periph_bridge_.upstream()),
+      periph_w1_("periph.w1", periph_bridge_.downstream(),
+                 periph_bus_.upstream()) {
+  // ---- interconnect: managers ----
+  main_xbar_.add_manager(&cpu_.port());
+
+  // ---- peripheral chain windows ----
+  periph_bus_.add_device(MemoryMap::kClint, &clint_.port());
+  periph_bus_.add_device(MemoryMap::kPlic, &plic_.port());
+  periph_bus_.add_device(MemoryMap::kUart, &uart_.port());
+  periph_bus_.add_device(MemoryMap::kSpi, &spi_.port());
+  main_xbar_.add_subordinate(MemoryMap::kPeripherals,
+                             &periph_conv_.upstream());
+  main_xbar_.add_subordinate(MemoryMap::kBootMem, &boot_.port());
+
+  // ---- DPR controllers ----
+  if (cfg_.with_rvcap) {
+    rvcap_ = std::make_unique<rvcap_ctrl::RvCapController>(
+        icap_, ddr_.port(), MemoryMap::kDdr, cfg_.dma);
+    main_xbar_.add_subordinate(MemoryMap::kDmaCtrl,
+                               &rvcap_->dma_ctrl_port());
+    main_xbar_.add_subordinate(MemoryMap::kRpCtrl, &rvcap_->rp_ctrl_port());
+    // CPU reaches DDR through the controller's additional crossbar.
+    main_xbar_.add_subordinate(MemoryMap::kDdr,
+                               &rvcap_->main_bus_ddr_port());
+    rvcap_->dma().set_mm2s_irq(irq::IrqLine(&plic_, IrqMap::kDmaMm2s));
+    rvcap_->dma().set_s2mm_irq(irq::IrqLine(&plic_, IrqMap::kDmaS2mm));
+  } else {
+    // Vendor-only deployment: the main crossbar drives DDR directly.
+    ddr_direct_port_ = std::make_unique<axi::AxiPort>();
+    ddr_direct_wire_ = std::make_unique<axi::AxiWire>(
+        "ddr.direct", *ddr_direct_port_, ddr_.port());
+    main_xbar_.add_subordinate(MemoryMap::kDdr, ddr_direct_port_.get());
+  }
+
+  if (cfg_.with_hwicap) {
+    hwicap_ =
+        std::make_unique<hwicap::HwIcap>("hwicap", icap_,
+                                         cfg_.hwicap_fifo_depth);
+    hwicap_conv_ = std::make_unique<axi::WidthConverter64To32>(
+        "hwicap.widthconv");
+    hwicap_bridge_ = std::make_unique<axi::AxiToLiteBridge>(
+        "hwicap.litebridge");
+    hwicap_w0_ = std::make_unique<axi::AxiWire>(
+        "hwicap.w0", hwicap_conv_->downstream(), hwicap_bridge_->upstream());
+    hwicap_w1_ = std::make_unique<axi::LiteWire>(
+        "hwicap.w1", hwicap_bridge_->downstream(), hwicap_->port());
+    main_xbar_.add_subordinate(MemoryMap::kHwicap,
+                               &hwicap_conv_->upstream());
+  }
+
+  // ---- RM slot behind the isolator (needs the RV-CAP streams) ----
+  if (cfg_.with_rvcap) {
+    rm_slot_ = std::make_unique<accel::RmSlot>(
+        "rm_slot", cfg_mem_, rp0_handle_, rvcap_->rm_input());
+    accel::register_case_study_filters(*rm_slot_);
+    accel::register_cipher(*rm_slot_);
+    accel::register_fir(*rm_slot_);
+    rm_out_wire_ = std::make_unique<axi::AxisWire>(
+        "rm_slot.out", rm_slot_->out(), rvcap_->rm_output_in());
+    rvcap_->rp_control().attach_rm(rm_slot_.get(), 0);
+  }
+
+  // ---- simulator registration (dataflow order) ----
+  sim_.add(&main_xbar_);
+  sim_.add(&periph_conv_);
+  sim_.add(&periph_w0_);
+  sim_.add(&periph_bridge_);
+  sim_.add(&periph_w1_);
+  sim_.add(&periph_bus_);
+  sim_.add(&clint_);
+  sim_.add(&plic_);
+  sim_.add(&uart_);
+  sim_.add(&spi_);
+  sim_.add(&boot_);
+  if (rvcap_) rvcap_->register_components(sim_);
+  if (hwicap_) {
+    sim_.add(hwicap_conv_.get());
+    sim_.add(hwicap_w0_.get());
+    sim_.add(hwicap_bridge_.get());
+    sim_.add(hwicap_w1_.get());
+    sim_.add(hwicap_.get());
+  }
+  if (ddr_direct_wire_) sim_.add(ddr_direct_wire_.get());
+  sim_.add(&ddr_);
+  if (rm_slot_) {
+    sim_.add(rm_slot_.get());
+    sim_.add(rm_out_wire_.get());
+  }
+  sim_.add(&icap_);
+}
+
+}  // namespace rvcap::soc

@@ -1,0 +1,142 @@
+// Full FPGA-based RISC-V SoC assembly (Fig. 1 + Fig. 2).
+//
+// Constructs and wires the platform the paper evaluates on: Ariane-class
+// CPU context, 64-bit AXI-4 main crossbar, DDR, on-chip boot memory,
+// SPI/SD card, CLINT (5 MHz timer), PLIC, the model Kintex-7 fabric with
+// its ICAP and configuration memory, one case-study reconfigurable
+// partition with stream isolator + RM slot, and — selectable per
+// deployment — the RV-CAP controller and/or the AXI_HWICAP baseline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "accel/rm_slot.hpp"
+#include "accel/fir_filter.hpp"
+#include "accel/stream_cipher.hpp"
+#include "axi/crossbar.hpp"
+#include "axi/lite_bridge.hpp"
+#include "axi/lite_bus.hpp"
+#include "axi/width_converter.hpp"
+#include "axi/wires.hpp"
+#include "cpu/cpu.hpp"
+#include "fabric/config_memory.hpp"
+#include "hwicap/hwicap.hpp"
+#include "icap/icap.hpp"
+#include "irq/clint.hpp"
+#include "irq/plic.hpp"
+#include "mem/ddr.hpp"
+#include "mem/sram.hpp"
+#include "rvcap/controller.hpp"
+#include "sim/simulator.hpp"
+#include "soc/memory_map.hpp"
+#include "soc/uart.hpp"
+#include "storage/sd_card.hpp"
+#include "storage/spi.hpp"
+
+namespace rvcap::soc {
+
+/// Which model FPGA the SoC is implemented on (the paper's portability
+/// claim: same controller and drivers on any DPR-capable Xilinx part).
+enum class DeviceModel : u8 {
+  kKintex7_325t,  // Genesys2, the paper's board
+  kArtix7_100t,   // smaller 7-series part
+};
+
+struct SocConfig {
+  DeviceModel device = DeviceModel::kKintex7_325t;
+  bool with_rvcap = true;    // instantiate the RV-CAP controller
+  bool with_hwicap = false;  // instantiate the AXI_HWICAP baseline
+  u32 hwicap_fifo_depth = 1024;  // paper resizes the vendor 64 -> 1024
+  u32 spi_clock_divider = 4;     // 25 MHz SD SPI clock
+  u32 sd_blocks = 131072;        // 64 MiB card
+  cpu::CpuTimingModel timing{};
+  rvcap_ctrl::AxiDma::Config dma{};
+  mem::DdrController::Config ddr{};
+};
+
+class ArianeSoc {
+ public:
+  explicit ArianeSoc(const SocConfig& cfg = SocConfig{});
+
+  // ---- top-level handles ----
+  sim::Simulator& sim() { return sim_; }
+  cpu::CpuContext& cpu() { return cpu_; }
+  const SocConfig& config() const { return cfg_; }
+
+  fabric::DeviceGeometry& device() { return dev_; }
+  fabric::ConfigMemory& config_memory() { return cfg_mem_; }
+  icap::Icap& icap() { return icap_; }
+  mem::DdrController& ddr() { return ddr_; }
+  mem::AxiSram& boot_mem() { return boot_; }
+  storage::SdCard& sd_card() { return sd_; }
+  irq::Clint& clint() { return clint_; }
+  irq::Plic& plic() { return plic_; }
+  Uart& uart() { return uart_; }
+
+  /// The case-study partition (RP0) and its tracking handle.
+  const fabric::Partition& rp0() const { return rp0_; }
+  usize rp0_handle() const { return rp0_handle_; }
+  accel::RmSlot& rm_slot() { return *rm_slot_; }
+
+  rvcap_ctrl::RvCapController& rvcap() { return *rvcap_; }
+  hwicap::HwIcap& hwicap() { return *hwicap_; }
+  bool has_rvcap() const { return rvcap_ != nullptr; }
+  bool has_hwicap() const { return hwicap_ != nullptr; }
+
+  /// Register an additional reconfigurable partition (reconfig-only:
+  /// no stream plumbing); returns its ConfigMemory handle.
+  usize add_partition(const fabric::Partition& p) {
+    return cfg_mem_.register_partition(p);
+  }
+
+ private:
+  SocConfig cfg_;
+  sim::Simulator sim_;
+
+  // Fabric substrate.
+  fabric::DeviceGeometry dev_;
+  fabric::ConfigMemory cfg_mem_;
+  icap::Icap icap_;
+  fabric::Partition rp0_;
+  usize rp0_handle_;
+
+  // Memories and peripherals.
+  mem::DdrController ddr_;
+  mem::AxiSram boot_;
+  irq::Clint clint_;
+  irq::Plic plic_;
+  Uart uart_;
+  storage::SdCard sd_;
+  storage::SpiController spi_;
+
+  // CPU and interconnect.
+  cpu::CpuContext cpu_;
+  axi::AxiCrossbar main_xbar_;
+
+  // Peripheral converter chain: 64-bit bus -> 32-bit lite devices.
+  axi::WidthConverter64To32 periph_conv_;
+  axi::AxiToLiteBridge periph_bridge_;
+  axi::LiteBus periph_bus_;
+  axi::AxiWire periph_w0_;
+  axi::LiteWire periph_w1_;
+
+  // DPR controllers (deployment options).
+  std::unique_ptr<rvcap_ctrl::RvCapController> rvcap_;
+  std::unique_ptr<hwicap::HwIcap> hwicap_;
+  std::unique_ptr<axi::WidthConverter64To32> hwicap_conv_;
+  std::unique_ptr<axi::AxiToLiteBridge> hwicap_bridge_;
+  std::unique_ptr<axi::AxiWire> hwicap_w0_;
+  std::unique_ptr<axi::LiteWire> hwicap_w1_;
+
+  // RM slot + stream plumbing (RV-CAP deployments only).
+  std::unique_ptr<accel::RmSlot> rm_slot_;
+  std::unique_ptr<axi::AxisWire> rm_out_wire_;
+
+  // Direct DDR binding used when RV-CAP (and its crossbar) is absent.
+  std::unique_ptr<axi::AxiWire> ddr_direct_wire_;
+  std::unique_ptr<axi::AxiPort> ddr_direct_port_;
+};
+
+}  // namespace rvcap::soc

@@ -1,0 +1,34 @@
+// Console UART (transmit-only model): the driver's terminal messages
+// ("a terminal message informs that the reconfiguration was
+// successful", §III-C) land here and tests/examples can read them back.
+#pragma once
+
+#include <string>
+
+#include "axi/lite_slave.hpp"
+
+namespace rvcap::soc {
+
+class Uart : public axi::AxiLiteSlave {
+ public:
+  static constexpr Addr kThr = 0x00;  // transmit holding register
+  static constexpr Addr kLsr = 0x14;  // line status (always ready)
+
+  explicit Uart(std::string name) : AxiLiteSlave(std::move(name)) {}
+
+  const std::string& output() const { return out_; }
+  void clear_output() { out_.clear(); }
+
+ protected:
+  u32 read_reg(Addr addr) override {
+    return ((addr & 0xFF) == kLsr) ? 0x60u : 0u;  // THR empty
+  }
+  void write_reg(Addr addr, u32 value) override {
+    if ((addr & 0xFF) == kThr) out_.push_back(static_cast<char>(value));
+  }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace rvcap::soc

@@ -1,0 +1,31 @@
+// Block-device abstraction under the FAT32 layer.
+//
+// The same FAT32 code runs in two bindings:
+//  * MemBlockIo  — direct backdoor into the SD-card model (host-side
+//    formatting and fast test setup);
+//  * the driver layer's SpiSdBlockIo — every block goes through the CPU
+//    model, the SPI controller, and the SD SPI protocol, accruing
+//    simulated time (the paper's software path).
+#pragma once
+
+#include <span>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace rvcap::storage {
+
+inline constexpr u32 kBlockSize = 512;
+
+class BlockIo {
+ public:
+  virtual ~BlockIo() = default;
+
+  /// Read one 512-byte block; buf.size() must be kBlockSize.
+  virtual Status read(u32 lba, std::span<u8> buf) = 0;
+  /// Write one 512-byte block.
+  virtual Status write(u32 lba, std::span<const u8> buf) = 0;
+  virtual u32 block_count() const = 0;
+};
+
+}  // namespace rvcap::storage

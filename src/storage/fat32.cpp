@@ -1,0 +1,627 @@
+#include "storage/fat32.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/log.hpp"
+
+namespace rvcap::storage {
+
+namespace {
+
+constexpr u32 kReservedSectors = 32;
+constexpr u32 kNumFats = 2;
+
+/// Entries (FAT cells) per FAT sector: 512 / 4.
+constexpr u32 kCellsPerSector = kBlockSize / 4;
+
+void put_bpb(std::span<u8> s, const Fat32FormatParams& p, u32 total_sectors,
+             u32 fat_size) {
+  s[0] = 0xEB;  // jmp short
+  s[1] = 0x58;
+  s[2] = 0x90;
+  std::memcpy(s.data() + 3, "RVCAPFAT", 8);     // OEM name
+  store_le16(s.subspan(0x0B), kBlockSize);      // bytes per sector
+  s[0x0D] = p.sectors_per_cluster;
+  store_le16(s.subspan(0x0E), static_cast<u16>(kReservedSectors));
+  s[0x10] = kNumFats;
+  store_le16(s.subspan(0x11), 0);               // FAT32: no root entries
+  store_le16(s.subspan(0x13), 0);               // total16 = 0
+  s[0x15] = 0xF8;                               // media: fixed disk
+  store_le16(s.subspan(0x16), 0);               // FAT16 size = 0
+  store_le16(s.subspan(0x18), 63);              // geometry (unused)
+  store_le16(s.subspan(0x1A), 255);
+  store_le32(s.subspan(0x1C), 0);               // hidden
+  store_le32(s.subspan(0x20), total_sectors);
+  store_le32(s.subspan(0x24), fat_size);
+  store_le16(s.subspan(0x28), 0);               // ext flags: mirrored
+  store_le16(s.subspan(0x2A), 0);               // version 0.0
+  store_le32(s.subspan(0x2C), 2);               // root cluster
+  store_le16(s.subspan(0x30), 1);               // FSInfo sector
+  store_le16(s.subspan(0x32), 6);               // backup boot sector
+  s[0x40] = 0x80;                               // drive number
+  s[0x42] = 0x29;                               // extended boot sig
+  store_le32(s.subspan(0x43), 0x52564341);      // volume id "RVCA"
+  std::string label = p.volume_label;
+  label.resize(11, ' ');
+  std::memcpy(s.data() + 0x47, label.data(), 11);
+  std::memcpy(s.data() + 0x52, "FAT32   ", 8);
+  s[0x1FE] = 0x55;
+  s[0x1FF] = 0xAA;
+}
+
+}  // namespace
+
+Status fat32_format(BlockIo& dev, const Fat32FormatParams& params) {
+  const u32 total = dev.block_count();
+  const u32 spc = params.sectors_per_cluster;
+  if (spc == 0 || (spc & (spc - 1)) != 0) return Status::kInvalidArgument;
+  if (total < 2048) return Status::kInvalidArgument;  // < 1 MiB
+
+  // Fixed-point iteration for the FAT size (how real mkfs.fat sizes it).
+  u32 fat_size = 1;
+  for (int i = 0; i < 16; ++i) {
+    const u32 data_sectors = total - kReservedSectors - kNumFats * fat_size;
+    const u32 clusters = data_sectors / spc;
+    const u32 needed = (clusters + 2 + kCellsPerSector - 1) / kCellsPerSector;
+    if (needed <= fat_size) break;
+    fat_size = needed;
+  }
+
+  std::array<u8, kBlockSize> sector{};
+
+  // Boot sector + backup copy.
+  put_bpb(sector, params, total, fat_size);
+  if (auto st = dev.write(0, sector); !ok(st)) return st;
+  if (auto st = dev.write(6, sector); !ok(st)) return st;
+
+  // FSInfo.
+  sector.fill(0);
+  store_le32(std::span(sector).subspan(0), 0x41615252);
+  store_le32(std::span(sector).subspan(484), 0x61417272);
+  const u32 data_sectors = total - kReservedSectors - kNumFats * fat_size;
+  store_le32(std::span(sector).subspan(488), data_sectors / spc - 1);
+  store_le32(std::span(sector).subspan(492), 3);  // next-free hint
+  store_le32(std::span(sector).subspan(508), 0xAA550000);
+  if (auto st = dev.write(1, sector); !ok(st)) return st;
+
+  // Zero both FATs.
+  sector.fill(0);
+  for (u32 f = 0; f < kNumFats; ++f) {
+    for (u32 i = 0; i < fat_size; ++i) {
+      if (auto st = dev.write(kReservedSectors + f * fat_size + i, sector);
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
+  // FAT[0], FAT[1], FAT[2]=EOC for the root directory.
+  store_le32(std::span(sector).subspan(0), 0x0FFFFFF8);
+  store_le32(std::span(sector).subspan(4), 0x0FFFFFFF);
+  store_le32(std::span(sector).subspan(8), 0x0FFFFFFF);
+  if (auto st = dev.write(kReservedSectors, sector); !ok(st)) return st;
+  if (auto st = dev.write(kReservedSectors + fat_size, sector); !ok(st)) {
+    return st;
+  }
+
+  // Zero the root directory cluster.
+  sector.fill(0);
+  const u32 data_start = kReservedSectors + kNumFats * fat_size;
+  for (u32 i = 0; i < spc; ++i) {
+    if (auto st = dev.write(data_start + i, sector); !ok(st)) return st;
+  }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Mount and low-level helpers
+// ---------------------------------------------------------------------------
+
+Status Fat32Volume::mount() {
+  std::array<u8, kBlockSize> s{};
+  if (auto st = read_sector(0, s); !ok(st)) return st;
+  if (s[0x1FE] != 0x55 || s[0x1FF] != 0xAA) return Status::kProtocolError;
+  if (load_le16(std::span(s).subspan(0x0B)) != kBlockSize) {
+    return Status::kNotSupported;
+  }
+  if (std::memcmp(s.data() + 0x52, "FAT32   ", 8) != 0) {
+    return Status::kNotSupported;
+  }
+  sectors_per_cluster_ = s[0x0D];
+  reserved_sectors_ = load_le16(std::span(s).subspan(0x0E));
+  num_fats_ = s[0x10];
+  total_sectors_ = load_le32(std::span(s).subspan(0x20));
+  fat_size_ = load_le32(std::span(s).subspan(0x24));
+  root_cluster_ = load_le32(std::span(s).subspan(0x2C));
+  if (sectors_per_cluster_ == 0 || num_fats_ == 0 || fat_size_ == 0) {
+    return Status::kProtocolError;
+  }
+  data_start_ = reserved_sectors_ + num_fats_ * fat_size_;
+  total_clusters_ =
+      (total_sectors_ - data_start_) / sectors_per_cluster_;
+  alloc_hint_ = 3;
+  fat_cache_sector_ = ~u32{0};
+  fat_cache_dirty_ = false;
+  mounted_ = true;
+  return Status::kOk;
+}
+
+Status Fat32Volume::read_sector(u32 lba, std::span<u8> buf) {
+  return dev_.read(lba, buf);
+}
+
+Status Fat32Volume::write_sector(u32 lba, std::span<const u8> buf) {
+  return dev_.write(lba, buf);
+}
+
+u32 Fat32Volume::cluster_lba(u32 cluster) const {
+  return data_start_ + (cluster - 2) * sectors_per_cluster_;
+}
+
+Status Fat32Volume::fat_load(u32 sector_index) {
+  if (fat_cache_sector_ == sector_index) return Status::kOk;
+  if (auto st = fat_flush(); !ok(st)) return st;
+  if (auto st = read_sector(reserved_sectors_ + sector_index, fat_cache_);
+      !ok(st)) {
+    return st;
+  }
+  fat_cache_sector_ = sector_index;
+  return Status::kOk;
+}
+
+Status Fat32Volume::fat_flush() {
+  if (!fat_cache_dirty_ || fat_cache_sector_ == ~u32{0}) return Status::kOk;
+  // Mirror the dirty sector into every FAT copy.
+  for (u32 f = 0; f < num_fats_; ++f) {
+    if (auto st = write_sector(
+            reserved_sectors_ + f * fat_size_ + fat_cache_sector_,
+            fat_cache_);
+        !ok(st)) {
+      return st;
+    }
+  }
+  fat_cache_dirty_ = false;
+  return Status::kOk;
+}
+
+Status Fat32Volume::fat_get(u32 cluster, u32* value) {
+  if (cluster < 2 || cluster >= total_clusters_ + 2) {
+    return Status::kOutOfRange;
+  }
+  if (auto st = fat_load(cluster / kCellsPerSector); !ok(st)) return st;
+  *value = load_le32(std::span(fat_cache_)
+                         .subspan((cluster % kCellsPerSector) * 4)) &
+           0x0FFFFFFF;
+  return Status::kOk;
+}
+
+Status Fat32Volume::fat_set(u32 cluster, u32 value) {
+  if (cluster < 2 || cluster >= total_clusters_ + 2) {
+    return Status::kOutOfRange;
+  }
+  if (auto st = fat_load(cluster / kCellsPerSector); !ok(st)) return st;
+  store_le32(
+      std::span(fat_cache_).subspan((cluster % kCellsPerSector) * 4),
+      value & 0x0FFFFFFF);
+  fat_cache_dirty_ = true;
+  return Status::kOk;
+}
+
+Status Fat32Volume::alloc_cluster(u32 hint, u32* out) {
+  const u32 n = total_clusters_;
+  u32 c = std::max<u32>(hint, 2);
+  for (u32 scanned = 0; scanned < n; ++scanned, ++c) {
+    if (c >= n + 2) c = 2;
+    u32 v = 0;
+    if (auto st = fat_get(c, &v); !ok(st)) return st;
+    if (v == 0) {
+      if (auto st = fat_set(c, 0x0FFFFFFF); !ok(st)) return st;
+      alloc_hint_ = c + 1;
+      *out = c;
+      return Status::kOk;
+    }
+  }
+  return Status::kNoSpace;
+}
+
+Status Fat32Volume::free_chain(u32 first) {
+  u32 c = first;
+  while (c >= 2 && c < kEoc) {
+    u32 next = 0;
+    if (auto st = fat_get(c, &next); !ok(st)) return st;
+    if (auto st = fat_set(c, 0); !ok(st)) return st;
+    if (next == 0) break;  // broken chain: stop rather than loop
+    c = next;
+  }
+  return fat_flush();
+}
+
+u32 Fat32Volume::free_clusters() {
+  u32 count = 0;
+  for (u32 c = 2; c < total_clusters_ + 2; ++c) {
+    u32 v = 0;
+    if (!ok(fat_get(c, &v))) return count;
+    if (v == 0) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Names and directory scanning
+// ---------------------------------------------------------------------------
+
+Status Fat32Volume::to_83(std::string_view name, std::array<u8, 11>* out) {
+  out->fill(' ');
+  if (name.empty() || name == "." || name == "..") {
+    return Status::kInvalidArgument;
+  }
+  const auto dot = name.rfind('.');
+  const std::string_view base =
+      (dot == std::string_view::npos) ? name : name.substr(0, dot);
+  const std::string_view ext =
+      (dot == std::string_view::npos) ? "" : name.substr(dot + 1);
+  if (base.empty() || base.size() > 8 || ext.size() > 3) {
+    return Status::kInvalidArgument;
+  }
+  for (usize i = 0; i < base.size(); ++i) {
+    const char c = base[i];
+    if (c == '/' || c == '\\' || c == ' ') return Status::kInvalidArgument;
+    (*out)[i] = static_cast<u8>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (usize i = 0; i < ext.size(); ++i) {
+    const char c = ext[i];
+    if (c == '/' || c == '\\' || c == ' ') return Status::kInvalidArgument;
+    (*out)[8 + i] =
+        static_cast<u8>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return Status::kOk;
+}
+
+namespace {
+
+std::string from_83(const std::array<u8, 11>& raw) {
+  std::string base, ext;
+  for (int i = 0; i < 8; ++i) {
+    if (raw[i] != ' ') base.push_back(static_cast<char>(raw[i]));
+  }
+  for (int i = 8; i < 11; ++i) {
+    if (raw[i] != ' ') ext.push_back(static_cast<char>(raw[i]));
+  }
+  return ext.empty() ? base : base + "." + ext;
+}
+
+}  // namespace
+
+template <typename Fn>
+Status Fat32Volume::scan_dir(u32 dir_cluster, Fn&& fn) {
+  u32 c = dir_cluster;
+  std::array<u8, kBlockSize> sec{};
+  while (c >= 2 && c < kEoc) {
+    for (u32 s = 0; s < sectors_per_cluster_; ++s) {
+      const u32 lba = cluster_lba(c) + s;
+      if (auto st = read_sector(lba, sec); !ok(st)) return st;
+      for (u32 off = 0; off < kBlockSize; off += kEntrySize) {
+        const u8 first = sec[off];
+        if (first == 0x00) return Status::kOk;  // end of directory
+        if (first == kDeleted) continue;
+        RawEntry e;
+        std::memcpy(e.name.data(), sec.data() + off, 11);
+        e.attr = sec[off + 0x0B];
+        if (e.attr == 0x0F) continue;  // LFN entries: skip
+        e.first_cluster =
+            (u32{load_le16(std::span(sec).subspan(off + 0x14))} << 16) |
+            load_le16(std::span(sec).subspan(off + 0x1A));
+        e.size = load_le32(std::span(sec).subspan(off + 0x1C));
+        if (fn(e, EntryLoc{lba, off})) return Status::kOk;
+      }
+    }
+    u32 next = 0;
+    if (auto st = fat_get(c, &next); !ok(st)) return st;
+    c = next;
+  }
+  return Status::kOk;
+}
+
+Status Fat32Volume::find_in_dir(u32 dir_cluster,
+                                const std::array<u8, 11>& name,
+                                RawEntry* entry, EntryLoc* loc) {
+  bool found = false;
+  const Status st = scan_dir(dir_cluster, [&](const RawEntry& e,
+                                              const EntryLoc& l) {
+    if (e.name == name) {
+      if (entry != nullptr) *entry = e;
+      if (loc != nullptr) *loc = l;
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  if (!ok(st)) return st;
+  return found ? Status::kOk : Status::kNotFound;
+}
+
+Status Fat32Volume::update_entry(const EntryLoc& loc, const RawEntry& e) {
+  std::array<u8, kBlockSize> sec{};
+  if (auto st = read_sector(loc.lba, sec); !ok(st)) return st;
+  std::memcpy(sec.data() + loc.offset, e.name.data(), 11);
+  sec[loc.offset + 0x0B] = e.attr;
+  store_le16(std::span(sec).subspan(loc.offset + 0x14),
+             static_cast<u16>(e.first_cluster >> 16));
+  store_le16(std::span(sec).subspan(loc.offset + 0x1A),
+             static_cast<u16>(e.first_cluster & 0xFFFF));
+  store_le32(std::span(sec).subspan(loc.offset + 0x1C), e.size);
+  return write_sector(loc.lba, sec);
+}
+
+Status Fat32Volume::add_dir_entry(u32 dir_cluster, const RawEntry& entry) {
+  // Find a free (0x00 / 0xE5) slot, extending the chain when full.
+  u32 c = dir_cluster;
+  std::array<u8, kBlockSize> sec{};
+  while (true) {
+    for (u32 s = 0; s < sectors_per_cluster_; ++s) {
+      const u32 lba = cluster_lba(c) + s;
+      if (auto st = read_sector(lba, sec); !ok(st)) return st;
+      for (u32 off = 0; off < kBlockSize; off += kEntrySize) {
+        if (sec[off] == 0x00 || sec[off] == kDeleted) {
+          return update_entry(EntryLoc{lba, off}, entry);
+        }
+      }
+    }
+    u32 next = 0;
+    if (auto st = fat_get(c, &next); !ok(st)) return st;
+    if (next >= kEoc) {
+      u32 fresh = 0;
+      if (auto st = alloc_cluster(alloc_hint_, &fresh); !ok(st)) return st;
+      if (auto st = fat_set(c, fresh); !ok(st)) return st;
+      if (auto st = fat_flush(); !ok(st)) return st;
+      // Zero the new directory cluster.
+      sec.fill(0);
+      for (u32 s = 0; s < sectors_per_cluster_; ++s) {
+        if (auto st = write_sector(cluster_lba(fresh) + s, sec); !ok(st)) {
+          return st;
+        }
+      }
+      next = fresh;
+    }
+    c = next;
+  }
+}
+
+Status Fat32Volume::resolve_parent(std::string_view path, u32* parent_cluster,
+                                   std::array<u8, 11>* leaf) {
+  if (!mounted_) return Status::kInternal;
+  while (!path.empty() && path.front() == '/') path.remove_prefix(1);
+  if (path.empty()) return Status::kInvalidArgument;
+
+  u32 dir = root_cluster_;
+  while (true) {
+    const auto slash = path.find('/');
+    const std::string_view comp =
+        (slash == std::string_view::npos) ? path : path.substr(0, slash);
+    if (slash == std::string_view::npos) {
+      if (auto st = to_83(comp, leaf); !ok(st)) return st;
+      *parent_cluster = dir;
+      return Status::kOk;
+    }
+    std::array<u8, 11> name{};
+    if (auto st = to_83(comp, &name); !ok(st)) return st;
+    RawEntry e;
+    if (auto st = find_in_dir(dir, name, &e, nullptr); !ok(st)) return st;
+    if ((e.attr & kAttrDir) == 0) return Status::kNotFound;
+    dir = e.first_cluster;
+    path = path.substr(slash + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File operations
+// ---------------------------------------------------------------------------
+
+Status Fat32Volume::write_chain(std::span<const u8> data, u32* first_cluster) {
+  *first_cluster = 0;
+  if (data.empty()) return Status::kOk;
+  const u32 cbytes = cluster_bytes();
+  u32 prev = 0;
+  std::array<u8, kBlockSize> sec{};
+  for (usize pos = 0; pos < data.size(); pos += cbytes) {
+    u32 c = 0;
+    if (auto st = alloc_cluster(alloc_hint_, &c); !ok(st)) return st;
+    if (prev == 0) {
+      *first_cluster = c;
+    } else {
+      if (auto st = fat_set(prev, c); !ok(st)) return st;
+    }
+    prev = c;
+    const usize chunk = std::min<usize>(cbytes, data.size() - pos);
+    for (u32 s = 0; s * kBlockSize < chunk; ++s) {
+      const usize off = pos + usize{s} * kBlockSize;
+      const usize n = std::min<usize>(kBlockSize, data.size() - off);
+      std::memcpy(sec.data(), data.data() + off, n);
+      if (n < kBlockSize) std::memset(sec.data() + n, 0, kBlockSize - n);
+      if (auto st = write_sector(cluster_lba(c) + s, sec); !ok(st)) return st;
+    }
+  }
+  return fat_flush();
+}
+
+Status Fat32Volume::write_file(std::string_view path,
+                               std::span<const u8> data) {
+  if (data.size() > 0xFFFFFFFFULL) return Status::kInvalidArgument;
+  u32 parent = 0;
+  std::array<u8, 11> name{};
+  if (auto st = resolve_parent(path, &parent, &name); !ok(st)) return st;
+
+  RawEntry existing;
+  EntryLoc loc;
+  const Status found = find_in_dir(parent, name, &existing, &loc);
+  if (found == Status::kOk && (existing.attr & kAttrDir) != 0) {
+    return Status::kAlreadyExists;  // path names a directory
+  }
+  if (found != Status::kOk && found != Status::kNotFound) return found;
+
+  // Overwrite semantics: drop the old chain, then write the new one.
+  if (found == Status::kOk && existing.first_cluster != 0) {
+    if (auto st = free_chain(existing.first_cluster); !ok(st)) return st;
+  }
+  u32 first = 0;
+  if (auto st = write_chain(data, &first); !ok(st)) return st;
+
+  RawEntry e;
+  e.name = name;
+  e.attr = kAttrArchive;
+  e.first_cluster = first;
+  e.size = static_cast<u32>(data.size());
+  if (found == Status::kOk) return update_entry(loc, e);
+  return add_dir_entry(parent, e);
+}
+
+Status Fat32Volume::file_size(std::string_view path, u32* size) {
+  u32 parent = 0;
+  std::array<u8, 11> name{};
+  if (auto st = resolve_parent(path, &parent, &name); !ok(st)) return st;
+  RawEntry e;
+  if (auto st = find_in_dir(parent, name, &e, nullptr); !ok(st)) return st;
+  if ((e.attr & kAttrDir) != 0) return Status::kInvalidArgument;
+  *size = e.size;
+  return Status::kOk;
+}
+
+Status Fat32Volume::read_file_range(std::string_view path, u32 offset,
+                                    std::span<u8> out) {
+  u32 parent = 0;
+  std::array<u8, 11> name{};
+  if (auto st = resolve_parent(path, &parent, &name); !ok(st)) return st;
+  RawEntry e;
+  if (auto st = find_in_dir(parent, name, &e, nullptr); !ok(st)) return st;
+  if ((e.attr & kAttrDir) != 0) return Status::kInvalidArgument;
+  if (u64{offset} + out.size() > e.size) return Status::kOutOfRange;
+  if (out.empty()) return Status::kOk;
+
+  const u32 cbytes = cluster_bytes();
+  u32 c = e.first_cluster;
+  for (u32 skip = offset / cbytes; skip > 0; --skip) {
+    if (auto st = fat_get(c, &c); !ok(st)) return st;
+    if (c < 2 || c >= kEoc) return Status::kIoError;
+  }
+  u32 in_cluster = offset % cbytes;
+  usize done = 0;
+  std::array<u8, kBlockSize> sec{};
+  while (done < out.size()) {
+    const u32 s = in_cluster / kBlockSize;
+    const u32 in_sec = in_cluster % kBlockSize;
+    if (auto st = read_sector(cluster_lba(c) + s, sec); !ok(st)) return st;
+    const usize n =
+        std::min<usize>(kBlockSize - in_sec, out.size() - done);
+    std::memcpy(out.data() + done, sec.data() + in_sec, n);
+    done += n;
+    in_cluster += static_cast<u32>(n);
+    if (in_cluster == cbytes && done < out.size()) {
+      in_cluster = 0;
+      if (auto st = fat_get(c, &c); !ok(st)) return st;
+      if (c < 2 || c >= kEoc) return Status::kIoError;
+    }
+  }
+  return Status::kOk;
+}
+
+Status Fat32Volume::read_file(std::string_view path, std::vector<u8>& out) {
+  u32 size = 0;
+  if (auto st = file_size(path, &size); !ok(st)) return st;
+  out.resize(size);
+  if (size == 0) return Status::kOk;
+  return read_file_range(path, 0, out);
+}
+
+Status Fat32Volume::remove(std::string_view path) {
+  u32 parent = 0;
+  std::array<u8, 11> name{};
+  if (auto st = resolve_parent(path, &parent, &name); !ok(st)) return st;
+  RawEntry e;
+  EntryLoc loc;
+  if (auto st = find_in_dir(parent, name, &e, &loc); !ok(st)) return st;
+
+  if ((e.attr & kAttrDir) != 0) {
+    // Only empty directories are removable.
+    bool has_children = false;
+    const Status st =
+        scan_dir(e.first_cluster, [&](const RawEntry& child, const EntryLoc&) {
+          const std::string n = from_83(child.name);
+          if (n != "." && n != "..") {
+            has_children = true;
+            return true;
+          }
+          return false;
+        });
+    if (!ok(st)) return st;
+    if (has_children) return Status::kDeviceBusy;
+  }
+  if (e.first_cluster != 0) {
+    if (auto st = free_chain(e.first_cluster); !ok(st)) return st;
+  }
+  std::array<u8, kBlockSize> sec{};
+  if (auto st = read_sector(loc.lba, sec); !ok(st)) return st;
+  sec[loc.offset] = kDeleted;
+  return write_sector(loc.lba, sec);
+}
+
+Status Fat32Volume::make_dir(std::string_view path) {
+  u32 parent = 0;
+  std::array<u8, 11> name{};
+  if (auto st = resolve_parent(path, &parent, &name); !ok(st)) return st;
+  if (find_in_dir(parent, name, nullptr, nullptr) == Status::kOk) {
+    return Status::kAlreadyExists;
+  }
+  u32 c = 0;
+  if (auto st = alloc_cluster(alloc_hint_, &c); !ok(st)) return st;
+  if (auto st = fat_flush(); !ok(st)) return st;
+
+  // Zero the cluster, then write "." and ".." entries.
+  std::array<u8, kBlockSize> sec{};
+  for (u32 s = 0; s < sectors_per_cluster_; ++s) {
+    if (auto st = write_sector(cluster_lba(c) + s, sec); !ok(st)) return st;
+  }
+  auto put_dot = [&](u32 off, const char* n, u32 cluster) {
+    std::memset(sec.data() + off, ' ', 11);
+    std::memcpy(sec.data() + off, n, std::strlen(n));
+    sec[off + 0x0B] = kAttrDir;
+    store_le16(std::span(sec).subspan(off + 0x14),
+               static_cast<u16>(cluster >> 16));
+    store_le16(std::span(sec).subspan(off + 0x1A),
+               static_cast<u16>(cluster & 0xFFFF));
+  };
+  put_dot(0, ".", c);
+  put_dot(32, "..", parent == root_cluster_ ? 0 : parent);
+  if (auto st = write_sector(cluster_lba(c), sec); !ok(st)) return st;
+
+  RawEntry e;
+  e.name = name;
+  e.attr = kAttrDir;
+  e.first_cluster = c;
+  e.size = 0;
+  return add_dir_entry(parent, e);
+}
+
+Status Fat32Volume::list(std::string_view path, std::vector<DirEntryInfo>& out) {
+  out.clear();
+  u32 dir = root_cluster_;
+  if (!path.empty() && path != "/") {
+    u32 parent = 0;
+    std::array<u8, 11> name{};
+    if (auto st = resolve_parent(path, &parent, &name); !ok(st)) return st;
+    RawEntry e;
+    if (auto st = find_in_dir(parent, name, &e, nullptr); !ok(st)) return st;
+    if ((e.attr & kAttrDir) == 0) return Status::kInvalidArgument;
+    dir = e.first_cluster;
+  }
+  return scan_dir(dir, [&](const RawEntry& e, const EntryLoc&) {
+    const std::string n = from_83(e.name);
+    if (n == "." || n == "..") return false;
+    out.push_back(DirEntryInfo{n, e.size, e.first_cluster,
+                               (e.attr & kAttrDir) != 0});
+    return false;
+  });
+}
+
+}  // namespace rvcap::storage

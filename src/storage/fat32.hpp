@@ -1,0 +1,137 @@
+// Minimal FAT32 implementation (format + volume operations).
+//
+// The paper (§III-A) develops "a set of file I/O software functions
+// based on the minimalist implementation of the file allocation table
+// (FAT32) ... to support file reading, writing, and overwriting". This
+// module reproduces that layer from scratch:
+//   * fat32_format(): mkfs — BPB, FSInfo, two FAT copies, root dir;
+//   * Fat32Volume: mount, 8.3 path lookup (subdirectories supported,
+//     no long file names — a bare-metal driver restriction), file
+//     create/read/write/overwrite/remove, directory listing, free-space
+//     accounting via a 1-sector FAT cache.
+//
+// All I/O goes through the BlockIo binding, so the same code runs both
+// host-side (test setup) and on the simulated CPU through the SPI/SD
+// stack where every block access costs simulated time.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "storage/block_io.hpp"
+
+namespace rvcap::storage {
+
+struct Fat32FormatParams {
+  u8 sectors_per_cluster = 8;     // 4 KiB clusters
+  std::string volume_label = "RVCAP";
+};
+
+/// Format the device with a FAT32 filesystem. Requires at least ~1 MiB
+/// of blocks (FAT32 needs a minimum cluster count to be recognizable).
+Status fat32_format(BlockIo& dev, const Fat32FormatParams& params = {});
+
+struct DirEntryInfo {
+  std::string name;  // canonical 8.3 form, e.g. "SOBEL.PB"
+  u32 size = 0;
+  u32 first_cluster = 0;
+  bool is_dir = false;
+};
+
+class Fat32Volume {
+ public:
+  explicit Fat32Volume(BlockIo& dev) : dev_(dev) {}
+
+  /// Parse the BPB; must be called (and succeed) before any file op.
+  Status mount();
+  bool mounted() const { return mounted_; }
+
+  // Paths are '/'-separated 8.3 components, case-insensitive
+  // ("bits/sobel.pb" == "BITS/SOBEL.PB").
+  Status write_file(std::string_view path, std::span<const u8> data);
+  Status read_file(std::string_view path, std::vector<u8>& out);
+  /// Read [offset, offset+out.size()) of the file — the driver uses
+  /// this to stream partial bitstreams into DDR chunk by chunk.
+  Status read_file_range(std::string_view path, u32 offset,
+                         std::span<u8> out);
+  Status file_size(std::string_view path, u32* size);
+  Status remove(std::string_view path);
+  Status make_dir(std::string_view path);
+  Status list(std::string_view path, std::vector<DirEntryInfo>& out);
+
+  u32 free_clusters();
+  u32 total_clusters() const { return total_clusters_; }
+  u32 cluster_bytes() const { return sectors_per_cluster_ * kBlockSize; }
+
+  /// Convert a name component to its 11-byte 8.3 directory form;
+  /// returns kInvalidArgument for names that do not fit.
+  static Status to_83(std::string_view name, std::array<u8, 11>* out);
+
+ private:
+  static constexpr u32 kEoc = 0x0FFFFFF8;   // >= kEoc means end-of-chain
+  static constexpr u32 kEntrySize = 32;
+  static constexpr u8 kAttrDir = 0x10;
+  static constexpr u8 kAttrArchive = 0x20;
+  static constexpr u8 kDeleted = 0xE5;
+
+  struct RawEntry {
+    std::array<u8, 11> name;
+    u8 attr = 0;
+    u32 first_cluster = 0;
+    u32 size = 0;
+  };
+  struct EntryLoc {
+    u32 lba = 0;   // sector holding the 32-byte entry
+    u32 offset = 0;
+  };
+
+  Status read_sector(u32 lba, std::span<u8> buf);
+  Status write_sector(u32 lba, std::span<const u8> buf);
+
+  u32 cluster_lba(u32 cluster) const;
+  Status fat_get(u32 cluster, u32* value);
+  Status fat_set(u32 cluster, u32 value);
+  Status fat_flush();
+  Status fat_load(u32 sector_index);
+  Status alloc_cluster(u32 hint, u32* out);
+  Status free_chain(u32 first);
+
+  /// Walk a directory chain; invokes fn(entry, loc) per live entry.
+  /// fn returns true to stop the scan.
+  template <typename Fn>
+  Status scan_dir(u32 dir_cluster, Fn&& fn);
+
+  Status find_in_dir(u32 dir_cluster, const std::array<u8, 11>& name,
+                     RawEntry* entry, EntryLoc* loc);
+  Status add_dir_entry(u32 dir_cluster, const RawEntry& entry);
+  Status update_entry(const EntryLoc& loc, const RawEntry& entry);
+
+  /// Resolve the parent directory of `path`; returns the final
+  /// component via `leaf`.
+  Status resolve_parent(std::string_view path, u32* parent_cluster,
+                        std::array<u8, 11>* leaf);
+  Status write_chain(std::span<const u8> data, u32* first_cluster);
+
+  BlockIo& dev_;
+  bool mounted_ = false;
+  u32 sectors_per_cluster_ = 0;
+  u32 reserved_sectors_ = 0;
+  u32 num_fats_ = 0;
+  u32 fat_size_ = 0;       // sectors per FAT
+  u32 total_sectors_ = 0;
+  u32 root_cluster_ = 0;
+  u32 data_start_ = 0;     // first data sector
+  u32 total_clusters_ = 0;
+  u32 alloc_hint_ = 2;
+
+  // 1-sector FAT cache (write-back, mirrored to the second FAT).
+  std::array<u8, kBlockSize> fat_cache_{};
+  u32 fat_cache_sector_ = ~u32{0};
+  bool fat_cache_dirty_ = false;
+};
+
+}  // namespace rvcap::storage

@@ -1,0 +1,106 @@
+// SD card model speaking the SD SPI-mode protocol.
+//
+// Implements the subset a bare-metal FAT32 driver needs: CMD0 (reset),
+// CMD8 (interface condition), CMD55/ACMD41 (init), CMD58 (OCR, reports
+// SDHC so addressing is in blocks), CMD17 (single-block read) and CMD24
+// (single-block write), with start tokens, CRC16 on data, data-response
+// and busy signalling. Byte-level full duplex: exchange() consumes one
+// MOSI byte and returns the MISO byte, exactly what the SPI controller
+// shifts per 8 clocks.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "storage/block_io.hpp"
+
+namespace rvcap::storage {
+
+class SdCard {
+ public:
+  explicit SdCard(u32 num_blocks);
+
+  /// Full-duplex SPI byte exchange. cs_low = chip select asserted.
+  u8 exchange(u8 mosi, bool cs_low);
+
+  bool initialized() const { return initialized_; }
+  u32 block_count() const { return num_blocks_; }
+
+  // ---- backdoor (no protocol, no simulated time) ----
+  Status backdoor_read(u32 lba, std::span<u8> buf) const;
+  Status backdoor_write(u32 lba, std::span<const u8> buf);
+
+  /// Lifetime counters for tests.
+  u64 blocks_read() const { return blocks_read_; }
+  u64 blocks_written() const { return blocks_written_; }
+  u64 crc_errors() const { return crc_errors_; }
+
+  /// CRC16-CCITT over a data block, as SD cards compute it.
+  static u16 crc16(std::span<const u8> data);
+  /// CRC7 over a 5-byte command header (CMD byte + 4 arg bytes).
+  static u8 crc7(std::span<const u8> data);
+
+ private:
+  enum class State {
+    kIdle,           // waiting for a command byte
+    kCommand,        // collecting the 6-byte command frame
+    kResponseWait,   // Ncr gap before R1
+    kResponse,       // shifting out the response bytes
+    kReadToken,      // gap before the 0xFE start token
+    kReadData,       // shifting out 512 data bytes + CRC16
+    kWriteWaitToken, // waiting for the host's 0xFE token
+    kWriteData,      // collecting 512 data bytes + CRC16
+    kWriteBusy,      // data response sent, card busy (0x00)
+  };
+
+  void execute_command();
+  u8* block(u32 lba);
+  const u8* block(u32 lba) const;
+
+  u32 num_blocks_;
+  mutable std::unordered_map<u32, std::unique_ptr<std::array<u8, kBlockSize>>>
+      blocks_;
+
+  State state_ = State::kIdle;
+  std::array<u8, 6> cmd_{};
+  usize cmd_fill_ = 0;
+  std::vector<u8> response_;
+  usize resp_pos_ = 0;
+  u32 gap_bytes_ = 0;  // idle 0xFF bytes before responding
+  u32 data_lba_ = 0;
+  std::array<u8, kBlockSize + 2> data_buf_{};  // block + CRC16
+  usize data_pos_ = 0;
+  u32 busy_bytes_ = 0;
+  bool acmd_ = false;        // previous command was CMD55
+  bool initialized_ = false; // ACMD41 completed
+  u32 acmd41_polls_ = 0;     // require a couple of ACMD41 retries
+  bool after_response_read_ = false;  // CMD17: data phase follows R1
+  bool after_response_write_ = false; // CMD24: host data phase follows R1
+
+  u64 blocks_read_ = 0;
+  u64 blocks_written_ = 0;
+  u64 crc_errors_ = 0;
+};
+
+/// Backdoor BlockIo binding over the card (host-side format/tests).
+class MemBlockIo final : public BlockIo {
+ public:
+  explicit MemBlockIo(SdCard& card) : card_(card) {}
+
+  Status read(u32 lba, std::span<u8> buf) override {
+    return card_.backdoor_read(lba, buf);
+  }
+  Status write(u32 lba, std::span<const u8> buf) override {
+    return card_.backdoor_write(lba, buf);
+  }
+  u32 block_count() const override { return card_.block_count(); }
+
+ private:
+  SdCard& card_;
+};
+
+}  // namespace rvcap::storage

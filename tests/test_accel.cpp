@@ -1,0 +1,299 @@
+// Golden filters, streaming RM models, and the RM slot.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "accel/rm_slot.hpp"
+#include "accel/stream_filter.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace rvcap {
+namespace {
+
+using accel::apply_golden;
+using accel::FilterKind;
+using accel::Image;
+using accel::make_test_image;
+using accel::StreamFilter;
+
+TEST(GoldenFilters, TestImageIsDeterministic) {
+  const Image a = make_test_image(64, 64, 5);
+  const Image b = make_test_image(64, 64, 5);
+  const Image c = make_test_image(64, 64, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+TEST(GoldenFilters, SobelOfConstantImageIsZero) {
+  Image flat{16, 16, std::vector<u8>(256, 77)};
+  const Image out = apply_golden(FilterKind::kSobel, flat);
+  for (u8 p : out.pixels) EXPECT_EQ(p, 0);
+}
+
+TEST(GoldenFilters, MedianAndGaussianPreserveConstantImage) {
+  Image flat{16, 16, std::vector<u8>(256, 123)};
+  EXPECT_EQ(apply_golden(FilterKind::kMedian, flat).pixels, flat.pixels);
+  EXPECT_EQ(apply_golden(FilterKind::kGaussian, flat).pixels, flat.pixels);
+}
+
+TEST(GoldenFilters, SobelDetectsVerticalEdge) {
+  Image img{16, 16, std::vector<u8>(256, 0)};
+  for (u32 y = 0; y < 16; ++y) {
+    for (u32 x = 8; x < 16; ++x) img.pixels[y * 16 + x] = 200;
+  }
+  const Image out = apply_golden(FilterKind::kSobel, img);
+  // Strong response at the edge columns, zero far from it.
+  EXPECT_GT(out.at(8, 8), 200);
+  EXPECT_EQ(out.at(2, 8), 0);
+  EXPECT_EQ(out.at(14, 8), 0);
+}
+
+TEST(GoldenFilters, MedianRemovesSaltNoise) {
+  Image img{16, 16, std::vector<u8>(256, 50)};
+  img.pixels[8 * 16 + 8] = 255;  // single salt pixel
+  const Image out = apply_golden(FilterKind::kMedian, img);
+  EXPECT_EQ(out.at(8, 8), 50);
+}
+
+TEST(GoldenFilters, GaussianReducesVariance) {
+  const Image img = make_test_image(64, 64, 11);
+  const Image out = apply_golden(FilterKind::kGaussian, img);
+  auto variance = [](const Image& im) {
+    const double mean =
+        std::accumulate(im.pixels.begin(), im.pixels.end(), 0.0) /
+        im.pixels.size();
+    double v = 0;
+    for (u8 p : im.pixels) v += (p - mean) * (p - mean);
+    return v / im.pixels.size();
+  };
+  EXPECT_LT(variance(out), variance(img));
+}
+
+TEST(GoldenFilters, GaussianKernelNormalization) {
+  // An impulse of 16 spreads exactly the kernel weights (rounded).
+  Image img{8, 8, std::vector<u8>(64, 0)};
+  img.pixels[3 * 8 + 3] = 160;
+  const Image out = apply_golden(FilterKind::kGaussian, img);
+  EXPECT_EQ(out.at(3, 3), 40u);  // 4/16 * 160
+  EXPECT_EQ(out.at(2, 3), 20u);  // 2/16 * 160
+  EXPECT_EQ(out.at(2, 2), 10u);  // 1/16 * 160
+}
+
+// ---------------------------------------------------------------------------
+// Streaming filter model vs golden
+// ---------------------------------------------------------------------------
+
+struct StreamHarness {
+  explicit StreamHarness(const accel::StreamFilterParams& p)
+      : filter(p), in(8), out(8) {}
+
+  /// Push a whole image through the stream interface; returns output.
+  std::vector<u8> run(const Image& img, u32 width, u32 height,
+                      Cycles* cycles = nullptr) {
+    filter.reg_write(0, width);
+    filter.reg_write(1, height);
+    const usize total = usize{width} * height;
+    std::vector<u8> result;
+    usize fed = 0;
+    sim::Simulator s;
+    const Cycles t0 = s.now();
+    while (result.size() < total) {
+      if (fed < total && in.can_push()) {
+        u64 data = 0;
+        for (u32 i = 0; i < 8; ++i) {
+          data |= u64{img.pixels[fed + i]} << (8 * i);
+        }
+        in.push(axi::AxisBeat{data, 0xFF, fed + 8 == total});
+        fed += 8;
+      }
+      filter.tick(in, out);
+      s.step();
+      while (out.can_pop()) {
+        const axi::AxisBeat b = *out.pop();
+        for (u32 i = 0; i < 8; ++i) {
+          result.push_back(static_cast<u8>(b.data >> (8 * i)));
+        }
+        if (b.last) {
+          EXPECT_EQ(result.size(), total);
+        }
+      }
+      if (s.now() > 100'000'000) ADD_FAILURE() << "stream stall";
+    }
+    if (cycles != nullptr) *cycles = s.now() - t0;
+    return result;
+  }
+
+  StreamFilter filter;
+  axi::AxisFifo in;
+  axi::AxisFifo out;
+};
+
+class StreamVsGolden
+    : public ::testing::TestWithParam<std::tuple<FilterKind, u32, u32>> {};
+
+TEST_P(StreamVsGolden, BitExactAcrossSizes) {
+  const auto [kind, w, h] = GetParam();
+  accel::StreamFilterParams p;
+  p.kind = kind;
+  p.default_width = w;
+  p.default_height = h;
+  p.cycles_per_row = w / 8;  // unpaced: functional check only
+  p.startup_latency = 4;
+  StreamHarness harness(p);
+  const Image img = make_test_image(w, h, 42 + w + h);
+  const auto result = harness.run(img, w, h);
+  const Image golden = apply_golden(kind, img);
+  EXPECT_EQ(result, golden.pixels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKinds, StreamVsGolden,
+    ::testing::Combine(::testing::Values(FilterKind::kSobel,
+                                         FilterKind::kMedian,
+                                         FilterKind::kGaussian),
+                       ::testing::Values(16u, 64u, 128u),
+                       ::testing::Values(8u, 33u, 64u)));
+
+TEST(StreamFilterTiming, CalibratedSobelMatchesTableIV) {
+  StreamHarness harness(accel::sobel_params());
+  const Image img = make_test_image(512, 512, 3);
+  Cycles cycles = 0;
+  const auto result = harness.run(img, 512, 512, &cycles);
+  EXPECT_EQ(result, apply_golden(FilterKind::kSobel, img).pixels);
+  // Core-level time excludes DMA/driver overhead: slightly below the
+  // 588 us Table IV reports for the full measured path.
+  EXPECT_NEAR(cycles_to_us(cycles), 585.0, 10.0);
+}
+
+TEST(StreamFilterTiming, FilterOrderingMatchesTableIV) {
+  const Image img = make_test_image(512, 512, 4);
+  Cycles t_sobel = 0, t_median = 0, t_gauss = 0;
+  StreamHarness(accel::sobel_params()).run(img, 512, 512, &t_sobel);
+  StreamHarness(accel::median_params()).run(img, 512, 512, &t_median);
+  StreamHarness(accel::gaussian_params()).run(img, 512, 512, &t_gauss);
+  EXPECT_LT(t_sobel, t_median);
+  EXPECT_LT(t_median, t_gauss);
+}
+
+TEST(StreamFilterTiming, BackToBackFramesWithoutReconfig) {
+  StreamHarness harness(accel::sobel_params());
+  const Image a = make_test_image(64, 64, 1);
+  const Image b = make_test_image(64, 64, 2);
+  const auto ra = harness.run(a, 64, 64);
+  const auto rb = harness.run(b, 64, 64);
+  EXPECT_EQ(ra, apply_golden(FilterKind::kSobel, a).pixels);
+  EXPECT_EQ(rb, apply_golden(FilterKind::kSobel, b).pixels);
+  EXPECT_EQ(harness.filter.frames_completed(), 2u);
+}
+
+TEST(StreamFilterRegs, GeometryLockedMidFrame) {
+  accel::StreamFilterParams p = accel::sobel_params();
+  p.default_width = 64;
+  p.default_height = 16;
+  StreamFilter f(p);
+  axi::AxisFifo in(8), out(8);
+  // Feed one full row so a frame is in flight.
+  for (int i = 0; i < 8; ++i) in.push(axi::AxisBeat{0, 0xFF, false});
+  for (int i = 0; i < 16; ++i) f.tick(in, out);
+  f.reg_write(0, 128);  // must be ignored mid-frame
+  EXPECT_EQ(f.reg_read(0), 64u);
+  f.reg_write(0, 60);  // and non-beat-multiples are always rejected
+  EXPECT_EQ(f.reg_read(0), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// RM slot
+// ---------------------------------------------------------------------------
+
+struct SlotFixture : ::testing::Test {
+  SlotFixture()
+      : dev(fabric::DeviceGeometry::kintex7_325t()),
+        rp(fabric::case_study_partition(dev)),
+        cfg(dev),
+        in(4),
+        slot_in(4) {
+    handle = cfg.register_partition(rp);
+    slot = std::make_unique<accel::RmSlot>("slot", cfg, handle, slot_in);
+    accel::register_case_study_filters(*slot);
+    s.add(slot.get());
+  }
+
+  void load(u32 rm_id) {
+    cfg.notify_rcrc();
+    const auto addrs = rp.frame_addrs(dev);
+    std::vector<u32> frame(fabric::kFrameWords, 0);
+    fabric::RmManifest{rm_id, static_cast<u32>(addrs.size())}.encode(
+        std::span(frame).subspan(0, 4));
+    cfg.write_frame(addrs[0], frame);
+    std::vector<u32> plain(fabric::kFrameWords, 1);
+    for (usize i = 1; i < addrs.size(); ++i) cfg.write_frame(addrs[i], plain);
+  }
+
+  fabric::DeviceGeometry dev;
+  fabric::Partition rp;
+  fabric::ConfigMemory cfg;
+  axi::AxisFifo in;
+  axi::AxisFifo slot_in;
+  std::unique_ptr<accel::RmSlot> slot;
+  sim::Simulator s;
+  usize handle = 0;
+};
+
+TEST_F(SlotFixture, ActivatesRegisteredModule) {
+  EXPECT_EQ(slot->active_rm(), 0u);
+  load(accel::kRmIdMedian);
+  s.run_cycles(2);
+  EXPECT_EQ(slot->active_rm(), accel::kRmIdMedian);
+  EXPECT_EQ(slot->rm_reg_read(3), static_cast<u32>(FilterKind::kMedian));
+}
+
+TEST_F(SlotFixture, SwapReplacesBehaviorFresh) {
+  load(accel::kRmIdSobel);
+  s.run_cycles(2);
+  slot->rm_reg_write(0, 64);
+  EXPECT_EQ(slot->rm_reg_read(0), 64u);
+  load(accel::kRmIdSobel);  // reload same module
+  s.run_cycles(2);
+  // Fresh logic: configuration wiped the register back to its default.
+  EXPECT_EQ(slot->rm_reg_read(0), 512u);
+  EXPECT_EQ(slot->activations(), 2u);
+}
+
+TEST_F(SlotFixture, UnknownRmIdStaysInactive) {
+  ScopedLogLevel quiet(LogLevel::kError);
+  load(250);
+  s.run_cycles(4);
+  EXPECT_EQ(slot->active_rm(), 0u);
+}
+
+TEST_F(SlotFixture, InvalidationDeactivates) {
+  load(accel::kRmIdGaussian);
+  s.run_cycles(2);
+  ASSERT_EQ(slot->active_rm(), accel::kRmIdGaussian);
+  // Stray frame write wrecks the partition.
+  cfg.write_frame(rp.frame_addrs(dev)[5],
+                  std::vector<u32>(fabric::kFrameWords, 9));
+  s.run_cycles(2);
+  EXPECT_EQ(slot->active_rm(), 0u);
+  EXPECT_EQ(slot->rm_reg_read(3), 0u);
+}
+
+TEST_F(SlotFixture, UnconfiguredSlotSinksBeats) {
+  slot_in.push(axi::AxisBeat{0x1234});
+  s.run_cycles(3);
+  EXPECT_TRUE(slot_in.empty());
+  EXPECT_TRUE(slot->out().empty());
+}
+
+TEST(RmIdMapping, RoundTrips) {
+  for (FilterKind k : {FilterKind::kSobel, FilterKind::kMedian,
+                       FilterKind::kGaussian}) {
+    EXPECT_EQ(accel::rm_id_to_kind(accel::kind_to_rm_id(k)), k);
+  }
+  EXPECT_THROW(accel::rm_id_to_kind(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvcap

@@ -1,0 +1,110 @@
+// Boot-table: RM discovery from on-chip boot memory, end to end with
+// init_RModules.
+#include <gtest/gtest.h>
+
+#include "bitstream/generator.hpp"
+#include "driver/boot_table.hpp"
+#include "driver/rvcap_driver.hpp"
+#include "driver/spi_sd.hpp"
+#include "soc/ariane_soc.hpp"
+#include "storage/fat32.hpp"
+
+namespace rvcap {
+namespace {
+
+using driver::BootTableEntry;
+using driver::kBootTableOffset;
+using driver::pack_boot_table;
+using driver::read_boot_table;
+using soc::ArianeSoc;
+using soc::MemoryMap;
+using soc::SocConfig;
+
+TEST(BootTablePack, RoundtripThroughBootMemory) {
+  ArianeSoc soc((SocConfig()));
+  const BootTableEntry entries[] = {
+      {accel::kRmIdSobel, false, "SOBEL.PB"},
+      {accel::kRmIdMedian, true, "BITS/MED.PBZ"},
+      {accel::kRmIdGaussian, false, "GAUSS.PB"},
+  };
+  std::vector<u8> blob;
+  ASSERT_EQ(pack_boot_table(entries, &blob), Status::kOk);
+  soc.boot_mem().poke(kBootTableOffset, blob);
+
+  std::vector<BootTableEntry> back;
+  ASSERT_EQ(read_boot_table(soc.cpu(), &back), Status::kOk);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].rm_id, accel::kRmIdSobel);
+  EXPECT_EQ(back[0].pbit_name, "SOBEL.PB");
+  EXPECT_FALSE(back[0].compressed);
+  EXPECT_EQ(back[1].pbit_name, "BITS/MED.PBZ");
+  EXPECT_TRUE(back[1].compressed);
+}
+
+TEST(BootTablePack, MissingTableNotFound) {
+  ArianeSoc soc((SocConfig()));
+  std::vector<BootTableEntry> back;
+  EXPECT_EQ(read_boot_table(soc.cpu(), &back), Status::kNotFound);
+}
+
+TEST(BootTablePack, OverlongNameRejected) {
+  const BootTableEntry bad[] = {{1, false, "A_VERY_LONG_FILE_NAME.BIN"}};
+  std::vector<u8> blob;
+  EXPECT_EQ(pack_boot_table(bad, &blob), Status::kInvalidArgument);
+}
+
+TEST(BootTablePack, CorruptHeaderRejected) {
+  ArianeSoc soc((SocConfig()));
+  const BootTableEntry entries[] = {{1, false, "A.PB"}};
+  std::vector<u8> blob;
+  ASSERT_EQ(pack_boot_table(entries, &blob), Status::kOk);
+  blob[5] = 9;  // bogus version
+  soc.boot_mem().poke(kBootTableOffset, blob);
+  std::vector<BootTableEntry> back;
+  EXPECT_EQ(read_boot_table(soc.cpu(), &back), Status::kNotSupported);
+}
+
+TEST(BootTableFlow, DiscoverStageReconfigure) {
+  // Full firmware startup: read the RM table from boot memory, load
+  // the named bitstream from SD via FAT32, reconfigure.
+  ArianeSoc soc((SocConfig()));
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+
+  // Provisioning (host side): small partition, SD card, boot table.
+  const fabric::Partition small("RPS", {{0, 2}});
+  const usize handle = soc.add_partition(small);
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), small, {9, "tiny"});
+  storage::MemBlockIo host_io(soc.sd_card());
+  ASSERT_EQ(storage::fat32_format(host_io), Status::kOk);
+  {
+    storage::Fat32Volume host_vol(host_io);
+    ASSERT_EQ(host_vol.mount(), Status::kOk);
+    ASSERT_EQ(host_vol.write_file("TINY.PB", pbit), Status::kOk);
+  }
+  const BootTableEntry entries[] = {{9, false, "TINY.PB"}};
+  std::vector<u8> blob;
+  ASSERT_EQ(pack_boot_table(entries, &blob), Status::kOk);
+  soc.boot_mem().poke(kBootTableOffset, blob);
+
+  // Firmware side.
+  std::vector<BootTableEntry> table;
+  ASSERT_EQ(read_boot_table(soc.cpu(), &table), Status::kOk);
+  auto mods = driver::to_reconfig_modules(table);
+  ASSERT_EQ(mods.size(), 1u);
+
+  driver::SpiSdDriver sd(soc.cpu());
+  ASSERT_EQ(sd.init_card(), Status::kOk);
+  driver::CpuBlockIo io(sd, soc.sd_card().block_count());
+  storage::Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  ASSERT_EQ(drv.init_RModules(mods, vol), Status::kOk);
+  ASSERT_EQ(drv.init_reconfig_process(mods[0], driver::DmaMode::kInterrupt),
+            Status::kOk);
+  const auto st = soc.config_memory().partition_state(handle);
+  EXPECT_TRUE(st.loaded);
+  EXPECT_EQ(st.rm_id, 9u);
+}
+
+}  // namespace
+}  // namespace rvcap

@@ -1,0 +1,213 @@
+// Breadth coverage: writer multi-section streams, DMA partial beats,
+// nested FAT32 directories, SPI FIFO behaviour, SD OCR, and DDR write
+// strobes through bursts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "axi/crossbar.hpp"
+#include "bitstream/parser.hpp"
+#include "bitstream/writer.hpp"
+#include "common/rng.hpp"
+#include "fabric/pbit_layout.hpp"
+#include "mem/ddr.hpp"
+#include "rvcap/dma.hpp"
+#include "sim/simulator.hpp"
+#include "storage/fat32.hpp"
+#include "storage/sd_card.hpp"
+#include "storage/spi.hpp"
+#include "testutil.hpp"
+
+namespace rvcap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bitstream writer sections
+// ---------------------------------------------------------------------------
+
+TEST(WriterSections, ThreeSectionsRoundtripThroughParser) {
+  bitstream::BitstreamWriter writer;
+  std::vector<bitstream::BitstreamWriter::Section> secs(3);
+  for (u32 s = 0; s < 3; ++s) {
+    secs[s].start = fabric::FrameAddr{s, 2 + 3 * s, 0};
+    secs[s].frame_words.assign((s + 1) * fabric::kFrameWords,
+                               0x1000 + s);
+  }
+  const auto bytes =
+      bitstream::BitstreamWriter::to_bytes(writer.build(secs));
+  bitstream::ParsedBitstream parsed;
+  ASSERT_EQ(bitstream::parse_bitstream(bytes, &parsed), Status::kOk);
+  EXPECT_TRUE(parsed.crc_ok);
+  ASSERT_EQ(parsed.sections.size(), 3u);
+  for (u32 s = 0; s < 3; ++s) {
+    EXPECT_EQ(parsed.sections[s].start, secs[s].start);
+    EXPECT_EQ(parsed.sections[s].frame_count, s + 1);
+  }
+  // Control-word budget: fixed + 4 per range (pbit_layout contract).
+  const u32 payload = (1 + 2 + 3) * fabric::kFrameWords;
+  EXPECT_EQ(bytes.size() / 4,
+            fabric::kPbitFixedControlWords +
+                3 * fabric::kPbitWordsPerRange + payload);
+}
+
+TEST(WriterSections, EmptySectionListStillWellFormed) {
+  bitstream::BitstreamWriter writer;
+  const auto bytes = bitstream::BitstreamWriter::to_bytes(writer.build({}));
+  bitstream::ParsedBitstream parsed;
+  ASSERT_EQ(bitstream::parse_bitstream(bytes, &parsed), Status::kOk);
+  EXPECT_TRUE(parsed.crc_ok);
+  EXPECT_EQ(parsed.payload_words, 0u);
+  EXPECT_EQ(bytes.size() / 4, fabric::kPbitFixedControlWords);
+}
+
+// ---------------------------------------------------------------------------
+// DMA S2MM partial-keep beats
+// ---------------------------------------------------------------------------
+
+TEST(DmaPartialBeats, S2mmHonorsKeepStrobes) {
+  sim::Simulator s;
+  mem::DdrController ddr("ddr");
+  rvcap_ctrl::AxiDma dma("dma");
+  axi::AxiCrossbar xbar("x");
+  xbar.add_manager(&dma.mem_port());
+  xbar.add_subordinate(axi::AddrRange{0, 1 << 20}, &ddr.port());
+  s.add(&xbar);
+  s.add(&ddr);
+  s.add(&dma);
+
+  // Pre-fill the destination so untouched lanes are visible.
+  ddr.poke64(0x1000, 0xEEEEEEEEEEEEEEEEULL);
+  ddr.poke64(0x1008, 0xEEEEEEEEEEEEEEEEULL);
+
+  auto wr = [&](Addr a, u32 v) {
+    dma.port().aw.push(axi::LiteAw{a});
+    dma.port().w.push(axi::LiteW{v, 0xF});
+    ASSERT_TRUE(s.run_until([&] { return dma.port().b.can_pop(); }, 10000));
+    dma.port().b.pop();
+  };
+  wr(rvcap_ctrl::AxiDma::kS2mmCr, rvcap_ctrl::AxiDma::kCrRunStop);
+  wr(rvcap_ctrl::AxiDma::kS2mmDa, 0x1000);
+  wr(rvcap_ctrl::AxiDma::kS2mmLength, 12);  // 1.5 beats
+
+  // Beat 1: full; beat 2: low half only.
+  ASSERT_TRUE(s.run_until(
+      [&] { return dma.s2mm_stream().can_push(); }, 1000));
+  dma.s2mm_stream().push(axi::AxisBeat{0x1111222233334444ULL, 0xFF, false});
+  ASSERT_TRUE(s.run_until(
+      [&] { return dma.s2mm_stream().can_push(); }, 1000));
+  dma.s2mm_stream().push(axi::AxisBeat{0x00000000AAAABBBBULL, 0x0F, true});
+  ASSERT_TRUE(s.run_until([&] { return dma.s2mm_idle(); }, 100000));
+
+  EXPECT_EQ(ddr.peek64(0x1000), 0x1111222233334444ULL);
+  EXPECT_EQ(ddr.peek64(0x1008), 0xEEEEEEEEAAAABBBBULL)
+      << "upper lanes of the partial beat must stay untouched";
+}
+
+// ---------------------------------------------------------------------------
+// FAT32 nested directories
+// ---------------------------------------------------------------------------
+
+TEST(Fat32Nested, DeepDirectoryTree) {
+  storage::SdCard card(131072);
+  storage::MemBlockIo io(card);
+  ASSERT_EQ(storage::fat32_format(io), Status::kOk);
+  storage::Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+
+  ASSERT_EQ(vol.make_dir("A"), Status::kOk);
+  ASSERT_EQ(vol.make_dir("A/B"), Status::kOk);
+  ASSERT_EQ(vol.make_dir("A/B/C"), Status::kOk);
+  const u8 d[] = {1, 2, 3, 4};
+  ASSERT_EQ(vol.write_file("A/B/C/DEEP.BIN", d), Status::kOk);
+
+  std::vector<u8> back;
+  ASSERT_EQ(vol.read_file("A/B/C/DEEP.BIN", back), Status::kOk);
+  EXPECT_EQ(back.size(), 4u);
+
+  // Path components must resolve as directories.
+  EXPECT_EQ(vol.read_file("A/B/DEEP.BIN", back), Status::kNotFound);
+  std::vector<storage::DirEntryInfo> ls;
+  ASSERT_EQ(vol.list("A/B", ls), Status::kOk);
+  ASSERT_EQ(ls.size(), 1u);
+  EXPECT_TRUE(ls[0].is_dir);
+  EXPECT_EQ(ls[0].name, "C");
+}
+
+TEST(Fat32Nested, MkdirUnderMissingParentFails) {
+  storage::SdCard card(131072);
+  storage::MemBlockIo io(card);
+  ASSERT_EQ(storage::fat32_format(io), Status::kOk);
+  storage::Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  EXPECT_EQ(vol.make_dir("NO/SUCH"), Status::kNotFound);
+  const u8 d[] = {1};
+  EXPECT_EQ(vol.write_file("NO/FILE.BIN", d), Status::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// SPI controller FIFO limits, SD OCR
+// ---------------------------------------------------------------------------
+
+TEST(SpiLimits, TxFifoOverflowDropsSilently) {
+  sim::Simulator s;
+  storage::SdCard card(4096);
+  storage::SpiController spi("spi", card, 4);
+  s.add(&spi);
+  // Controller disabled: nothing drains, so pushes past depth 16 drop.
+  for (u32 i = 0; i < 32; ++i) {
+    spi.port().aw.push(axi::LiteAw{storage::SpiController::kDtr});
+    spi.port().w.push(axi::LiteW{i, 0xF});
+    ASSERT_TRUE(s.run_until([&] { return spi.port().b.can_pop(); }, 1000));
+    spi.port().b.pop();
+  }
+  spi.port().ar.push(axi::LiteAr{storage::SpiController::kSr});
+  ASSERT_TRUE(s.run_until([&] { return spi.port().r.can_pop(); }, 1000));
+  EXPECT_TRUE(spi.port().r.pop()->data & storage::SpiController::kSrTxFull);
+}
+
+TEST(SdOcr, Cmd58ReportsBlockAddressing) {
+  storage::SdCard card(4096);
+  auto cmd = [&](u8 c, u32 arg) {
+    std::array<u8, 6> f{static_cast<u8>(0x40 | c), static_cast<u8>(arg >> 24),
+                        static_cast<u8>(arg >> 16), static_cast<u8>(arg >> 8),
+                        static_cast<u8>(arg), 0};
+    f[5] = static_cast<u8>((storage::SdCard::crc7({f.data(), 5}) << 1) | 1);
+    for (u8 b : f) card.exchange(b, true);
+    u8 r = 0xFF;
+    for (int i = 0; i < 10 && r == 0xFF; ++i) r = card.exchange(0xFF, true);
+    return r;
+  };
+  cmd(0, 0);
+  cmd(55, 0);
+  cmd(41, 0x40000000);
+  cmd(55, 0);
+  cmd(41, 0x40000000);
+  ASSERT_TRUE(card.initialized());
+  EXPECT_EQ(cmd(58, 0), 0x00);
+  const u8 ocr0 = card.exchange(0xFF, true);
+  EXPECT_TRUE(ocr0 & 0x40) << "CCS bit: SDHC block addressing";
+}
+
+// ---------------------------------------------------------------------------
+// DDR strobed burst writes
+// ---------------------------------------------------------------------------
+
+TEST(DdrStrobes, PartialStrobesInsideBurst) {
+  sim::Simulator s;
+  mem::DdrController ddr("ddr");
+  s.add(&ddr);
+  ddr.poke64(0x0, 0xFFFFFFFFFFFFFFFFULL);
+  ddr.poke64(0x8, 0xFFFFFFFFFFFFFFFFULL);
+
+  ddr.port().aw.push(axi::AxiAw{0x0, 1, 3});
+  ddr.port().w.push(axi::AxiW{0x00000000000000AAULL, 0x01, false});
+  ddr.port().w.push(axi::AxiW{0xBB00000000000000ULL, 0x80, true});
+  ASSERT_TRUE(s.run_until([&] { return ddr.port().b.can_pop(); }, 1000));
+  ddr.port().b.pop();
+
+  EXPECT_EQ(ddr.peek64(0x0), 0xFFFFFFFFFFFFFFAAULL);
+  EXPECT_EQ(ddr.peek64(0x8), 0xBBFFFFFFFFFFFFFFULL);
+}
+
+}  // namespace
+}  // namespace rvcap

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/hexdump.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace rvcap {
+namespace {
+
+TEST(Units, ClintDividerMatchesPaperClocks) {
+  EXPECT_EQ(kCoreClockHz, 100'000'000u);
+  EXPECT_EQ(kClintClockHz, 5'000'000u);
+  EXPECT_EQ(kCyclesPerClintTick, 20u);
+}
+
+TEST(Units, CyclesToMicroseconds) {
+  EXPECT_DOUBLE_EQ(cycles_to_us(100), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_us(165'100), 1651.0);
+  EXPECT_DOUBLE_EQ(cycles_to_ms(15'645'000), 156.45);
+}
+
+TEST(Units, ThroughputMatchesPaperHeadline) {
+  // 650892 bytes in 1651 us -> 394.2 MB/s (the paper's largest-case
+  // number; 398.1 is the max across sizes).
+  const double t = throughput_mbps(650892, 165100);
+  EXPECT_NEAR(t, 394.2, 0.1);
+}
+
+TEST(Units, ThroughputZeroCyclesIsZero) {
+  EXPECT_DOUBLE_EQ(throughput_mbps(1000, 0), 0.0);
+}
+
+TEST(Units, ByteSizes) {
+  EXPECT_EQ(KiB(4), 4096u);
+  EXPECT_EQ(MiB(1), 1048576u);
+}
+
+TEST(Bytes, LittleEndianRoundtrip16) {
+  u8 buf[2];
+  store_le16(buf, 0xBEEF);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[1], 0xBE);
+  EXPECT_EQ(load_le16(buf), 0xBEEF);
+}
+
+TEST(Bytes, LittleEndianRoundtrip32) {
+  u8 buf[4];
+  store_le32(buf, 0xDEADBEEF);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(load_le32(buf), 0xDEADBEEFu);
+}
+
+TEST(Bytes, LittleEndianRoundtrip64) {
+  u8 buf[8];
+  store_le64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0123456789ABCDEFULL);
+}
+
+TEST(Bytes, BigEndian32) {
+  u8 buf[4];
+  store_be32(buf, 0xAA995566);  // the Xilinx sync word
+  EXPECT_EQ(buf[0], 0xAA);
+  EXPECT_EQ(buf[3], 0x66);
+  EXPECT_EQ(load_be32(buf), 0xAA995566u);
+}
+
+TEST(Bytes, BitFieldExtraction) {
+  EXPECT_EQ(bits(0xFFFFFFFF, 0, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(bits(0x12345678, 8, 8), 0x56u);
+  EXPECT_EQ(bits(0x12345678, 28, 4), 0x1u);
+  EXPECT_EQ(bits64(0xFF00000000ULL, 32, 8), 0xFFu);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = r.next_range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Status, ToStringCoversAllCodes) {
+  EXPECT_EQ(to_string(Status::kOk), "ok");
+  EXPECT_EQ(to_string(Status::kCrcError), "crc_error");
+  EXPECT_EQ(to_string(Status::kDecoupled), "decoupled");
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kTimeout));
+}
+
+TEST(Hexdump, FormatsAsciiGutter) {
+  const u8 data[] = {'R', 'V', '-', 'C', 'A', 'P', 0x00, 0xFF};
+  const std::string out = hexdump(data, 0x1000);
+  EXPECT_NE(out.find("00001000"), std::string::npos);
+  EXPECT_NE(out.find("|RV-CAP..|"), std::string::npos);
+}
+
+TEST(Hexdump, EmptyInputProducesNothing) {
+  EXPECT_TRUE(hexdump({}).empty());
+}
+
+}  // namespace
+}  // namespace rvcap

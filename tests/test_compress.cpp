@@ -1,0 +1,200 @@
+// Bitstream compression codec + the inline hardware decompressor
+// (RT-ICAP-style extension).
+#include <gtest/gtest.h>
+
+#include "bitstream/compress.hpp"
+#include "bitstream/generator.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "driver/rvcap_driver.hpp"
+#include "soc/ariane_soc.hpp"
+
+namespace rvcap {
+namespace {
+
+using bitstream::compress_bitstream;
+using bitstream::compression_ratio;
+using bitstream::decompress_bitstream;
+using bitstream::FrameFill;
+using driver::DmaMode;
+using soc::ArianeSoc;
+using soc::MemoryMap;
+using soc::SocConfig;
+
+// ---------------------------------------------------------------------------
+// Host codec
+// ---------------------------------------------------------------------------
+
+class CodecRoundtrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CodecRoundtrip, RandomWordsSurvive) {
+  SplitMix64 rng(GetParam());
+  std::vector<u8> raw(4 * rng.next_range(1, 5000));
+  for (auto& b : raw) b = rng.next_byte();
+  // Sprinkle zero runs so both record types appear.
+  for (usize i = 0; i + 64 < raw.size(); i += 256) {
+    std::fill(raw.begin() + static_cast<long>(i),
+              raw.begin() + static_cast<long>(i) + 64, 0);
+  }
+  std::vector<u8> packed, unpacked;
+  ASSERT_EQ(compress_bitstream(raw, &packed), Status::kOk);
+  ASSERT_EQ(decompress_bitstream(packed, &unpacked), Status::kOk);
+  // Decompression may append up to one padding zero word.
+  ASSERT_GE(unpacked.size(), raw.size());
+  ASSERT_LE(unpacked.size() - raw.size(), 4u);
+  EXPECT_TRUE(std::equal(raw.begin(), raw.end(), unpacked.begin()));
+  for (usize i = raw.size(); i < unpacked.size(); ++i) {
+    EXPECT_EQ(unpacked[i], 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundtrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Codec, AllZerosCompressesMassively) {
+  const std::vector<u8> raw(400 * 1024, 0);
+  std::vector<u8> packed;
+  ASSERT_EQ(compress_bitstream(raw, &packed), Status::kOk);
+  EXPECT_GT(compression_ratio(raw.size(), packed.size()), 1000.0);
+}
+
+TEST(Codec, IncompressibleDataHasTinyOverhead) {
+  SplitMix64 rng(99);
+  std::vector<u8> raw(100 * 1024);
+  for (auto& b : raw) b = static_cast<u8>(rng.next_range(1, 255));
+  std::vector<u8> packed;
+  ASSERT_EQ(compress_bitstream(raw, &packed), Status::kOk);
+  EXPECT_LT(packed.size(), raw.size() * 101 / 100 + 64);
+}
+
+TEST(Codec, SparseCaseStudyBitstreamCompressesWell) {
+  const auto dev = fabric::DeviceGeometry::kintex7_325t();
+  const auto rp = fabric::case_study_partition(dev);
+  const auto sparse = bitstream::generate_partial_bitstream(
+      dev, rp, {1, "s"}, FrameFill::kSparse);
+  std::vector<u8> packed;
+  ASSERT_EQ(compress_bitstream(sparse, &packed), Status::kOk);
+  // Sparse frames are 15/16 zero words: expect roughly 5x.
+  EXPECT_GT(compression_ratio(sparse.size(), packed.size()), 4.0);
+}
+
+TEST(Codec, UnalignedInputRejected) {
+  const u8 odd[] = {1, 2, 3};
+  std::vector<u8> out;
+  EXPECT_EQ(compress_bitstream(odd, &out), Status::kInvalidArgument);
+}
+
+TEST(Codec, BadMagicRejected) {
+  std::vector<u8> junk(64, 0x11);
+  std::vector<u8> out;
+  EXPECT_EQ(decompress_bitstream(junk, &out), Status::kProtocolError);
+}
+
+TEST(Codec, TruncatedLiteralRunRejected) {
+  std::vector<u8> raw(64, 0x22);
+  std::vector<u8> packed;
+  ASSERT_EQ(compress_bitstream(raw, &packed), Status::kOk);
+  packed.resize(packed.size() - 8);  // drop literal payload
+  std::vector<u8> out;
+  EXPECT_EQ(decompress_bitstream(packed, &out), Status::kProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: compressed reconfiguration through the SoC
+// ---------------------------------------------------------------------------
+
+struct CompressedReconfig : ::testing::TestWithParam<FrameFill> {};
+
+TEST_P(CompressedReconfig, LoadsModuleIdenticallyToRawPath) {
+  ArianeSoc soc((SocConfig()));
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+
+  const auto raw = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdMedian, "m"}, GetParam());
+  std::vector<u8> packed;
+  ASSERT_EQ(compress_bitstream(raw, &packed), Status::kOk);
+  soc.ddr().poke(MemoryMap::kPbitStagingBase, packed);
+
+  driver::ReconfigModule m{"", accel::kRmIdMedian,
+                           MemoryMap::kPbitStagingBase,
+                           static_cast<u32>(packed.size())};
+  ASSERT_EQ(drv.init_reconfig_process_compressed(m, DmaMode::kInterrupt),
+            Status::kOk);
+  // Let the trailing decompressed words drain into the ICAP.
+  ASSERT_TRUE(soc.sim().run_until_idle(2'000'000));
+
+  EXPECT_FALSE(soc.icap().crc_error());
+  EXPECT_FALSE(soc.rvcap().decompressor().format_error());
+  const auto st = soc.config_memory().partition_state(soc.rp0_handle());
+  EXPECT_TRUE(st.loaded);
+  EXPECT_EQ(st.rm_id, accel::kRmIdMedian);
+  EXPECT_EQ(soc.icap().words_consumed(), raw.size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fills, CompressedReconfig,
+                         ::testing::Values(FrameFill::kHashed,
+                                           FrameFill::kSparse));
+
+TEST(CompressedReconfigTiming, SavesFetchBytesNotReconfigTime) {
+  ArianeSoc soc((SocConfig()));
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+
+  const auto raw = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "s"},
+      FrameFill::kSparse);
+  std::vector<u8> packed;
+  ASSERT_EQ(compress_bitstream(raw, &packed), Status::kOk);
+
+  // Raw transfer.
+  soc.ddr().poke(MemoryMap::kPbitStagingBase, raw);
+  driver::ReconfigModule m_raw{"", accel::kRmIdSobel,
+                               MemoryMap::kPbitStagingBase,
+                               static_cast<u32>(raw.size())};
+  ASSERT_EQ(drv.init_reconfig_process(m_raw, DmaMode::kInterrupt),
+            Status::kOk);
+  const double tr_raw = drv.last_timing().reconfig_us();
+
+  // Compressed transfer of the same module.
+  soc.ddr().poke(MemoryMap::kPbitStagingBase, packed);
+  driver::ReconfigModule m_z{"", accel::kRmIdSobel,
+                             MemoryMap::kPbitStagingBase,
+                             static_cast<u32>(packed.size())};
+  ASSERT_EQ(drv.init_reconfig_process_compressed(m_z, DmaMode::kInterrupt),
+            Status::kOk);
+  ASSERT_TRUE(soc.sim().run_until_idle(2'000'000));
+  EXPECT_TRUE(soc.config_memory().partition_state(soc.rp0_handle()).loaded);
+
+  // Fetch volume shrinks ~5x; reconfiguration time cannot beat the
+  // ICAP's word rate (every frame word still has to be written).
+  EXPECT_GT(compression_ratio(raw.size(), packed.size()), 4.0);
+  EXPECT_GT(drv.last_timing().reconfig_us(), tr_raw * 0.5);
+}
+
+TEST(DecompressorUnit, PassthroughWhenDisabled) {
+  sim::Simulator s;
+  axi::AxisFifo in(4), out(4);
+  rvcap_ctrl::Decompressor d("d", in, out);
+  s.add(&d);
+  in.push(axi::AxisBeat{0x1234, 0xFF, true});
+  s.run_cycles(3);
+  ASSERT_TRUE(out.can_pop());
+  EXPECT_EQ(out.pop()->data, 0x1234u);
+  EXPECT_FALSE(d.format_error());
+}
+
+TEST(DecompressorUnit, BadMagicSetsFormatError) {
+  ScopedLogLevel quiet(LogLevel::kError);
+  sim::Simulator s;
+  axi::AxisFifo in(4), out(4);
+  rvcap_ctrl::Decompressor d("d", in, out);
+  s.add(&d);
+  d.set_enabled(true);
+  in.push(axi::AxisBeat{0xFFFFFFFFFFFFFFFFULL, 0xFF, true});
+  s.run_cycles(5);
+  EXPECT_TRUE(d.format_error());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace rvcap

@@ -1,0 +1,160 @@
+// FIR filter RM: reference semantics, streaming model, and the SDR
+// use case through the full SoC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "accel/fir_filter.hpp"
+#include "bitstream/generator.hpp"
+#include "common/rng.hpp"
+#include "driver/rvcap_driver.hpp"
+#include "soc/ariane_soc.hpp"
+
+namespace rvcap {
+namespace {
+
+using accel::FirFilter;
+using accel::fir_highpass_coeffs;
+using accel::fir_lowpass_coeffs;
+using accel::fir_passthrough_coeffs;
+using accel::fir_reference;
+using accel::kFirTaps;
+using driver::DmaMode;
+using soc::ArianeSoc;
+using soc::MemoryMap;
+using soc::SocConfig;
+
+std::vector<i16> make_tone(usize n, double cycles_per_sample, i16 amp,
+                           u64 noise_seed = 0) {
+  std::vector<i16> s(n);
+  SplitMix64 rng(noise_seed + 1);
+  for (usize i = 0; i < n; ++i) {
+    double v = amp * std::sin(2.0 * 3.14159265358979 * cycles_per_sample *
+                              static_cast<double>(i));
+    if (noise_seed != 0) v += static_cast<double>(rng.next_below(64)) - 32;
+    s[i] = static_cast<i16>(std::clamp(v, -32768.0, 32767.0));
+  }
+  return s;
+}
+
+TEST(FirReference, PassthroughIsNearIdentity) {
+  const auto x = make_tone(256, 0.05, 10000);
+  const auto y = fir_reference(x, fir_passthrough_coeffs());
+  for (usize i = 0; i < x.size(); ++i) {
+    // 32767/32768 scaling loses at most 1 LSB per unit amplitude.
+    EXPECT_NEAR(y[i], x[i], std::abs(x[i]) / 1024 + 1) << i;
+  }
+}
+
+TEST(FirReference, LowpassAttenuatesHighFrequency) {
+  auto energy = [](std::span<const i16> v) {
+    double e = 0;
+    for (usize i = kFirTaps; i < v.size(); ++i) e += double(v[i]) * v[i];
+    return e;
+  };
+  const auto lo_tone = make_tone(512, 0.01, 10000);  // slow
+  const auto hi_tone = make_tone(512, 0.45, 10000);  // near Nyquist
+  const auto lo_out = fir_reference(lo_tone, fir_lowpass_coeffs());
+  const auto hi_out = fir_reference(hi_tone, fir_lowpass_coeffs());
+  EXPECT_GT(energy(lo_out), energy(lo_tone) * 0.5);
+  EXPECT_LT(energy(hi_out), energy(hi_tone) * 0.05);
+}
+
+TEST(FirReference, HighpassDoesTheOpposite) {
+  auto energy = [](std::span<const i16> v) {
+    double e = 0;
+    for (usize i = kFirTaps; i < v.size(); ++i) e += double(v[i]) * v[i];
+    return e;
+  };
+  const auto lo_tone = make_tone(512, 0.01, 10000);
+  const auto lo_out = fir_reference(lo_tone, fir_highpass_coeffs());
+  EXPECT_LT(energy(lo_out), energy(lo_tone) * 0.05);
+}
+
+TEST(FirStreaming, BitExactVsReference) {
+  FirFilter fir;
+  // Program low-pass coefficients through the register interface.
+  const auto c = fir_lowpass_coeffs();
+  for (u32 r = 0; r < kFirTaps / 2; ++r) {
+    fir.reg_write(r, (u32{static_cast<u16>(c[2 * r + 1])} << 16) |
+                         static_cast<u16>(c[2 * r]));
+  }
+  const auto x = make_tone(1024, 0.07, 9000, /*noise=*/5);
+  const auto golden = fir_reference(x, c);
+
+  axi::AxisFifo in(4), out(4);
+  std::vector<i16> got;
+  usize fed = 0;
+  while (got.size() < x.size()) {
+    if (fed < x.size() && in.can_push()) {
+      u64 beat = 0;
+      for (u32 l = 0; l < 4; ++l) {
+        beat |= u64{static_cast<u16>(x[fed + l])} << (16 * l);
+      }
+      in.push(axi::AxisBeat{beat, 0xFF, fed + 4 == x.size()});
+      fed += 4;
+    }
+    fir.tick(in, out);
+    while (out.can_pop()) {
+      const u64 d = out.pop()->data;
+      for (u32 l = 0; l < 4; ++l) {
+        got.push_back(static_cast<i16>((d >> (16 * l)) & 0xFFFF));
+      }
+    }
+  }
+  ASSERT_EQ(got.size(), golden.size());
+  for (usize i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], golden[i]) << i;
+}
+
+TEST(FirStreaming, CoefficientRegistersReadBack) {
+  FirFilter fir;
+  fir.reg_write(0, 0xBEEF1234);
+  EXPECT_EQ(fir.reg_read(0), 0xBEEF1234u);
+  EXPECT_EQ(fir.reg_read(9), accel::kRmIdFir);
+}
+
+TEST(FirSoC, SdrChannelSwapThroughDpr) {
+  // The SDR scenario: swap between a FIR channel filter and the cipher
+  // module at runtime; the FIR's coefficients select the channel.
+  ArianeSoc soc((SocConfig()));
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdFir, "fir"});
+  soc.ddr().poke(MemoryMap::kPbitStagingBase, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdFir,
+                           MemoryMap::kPbitStagingBase,
+                           static_cast<u32>(pbit.size())};
+  ASSERT_EQ(drv.init_reconfig_process(m, DmaMode::kInterrupt), Status::kOk);
+  soc.sim().run_cycles(4);
+  ASSERT_EQ(soc.rm_slot().active_rm(), accel::kRmIdFir);
+
+  // Program the low-pass channel via the RP control interface.
+  const auto c = fir_lowpass_coeffs();
+  for (u32 r = 0; r < kFirTaps / 2; ++r) {
+    drv.rm_reg_write(r, (u32{static_cast<u16>(c[2 * r + 1])} << 16) |
+                            static_cast<u16>(c[2 * r]));
+  }
+
+  const auto x = make_tone(4096, 0.06, 8000, /*noise=*/9);
+  std::vector<u8> raw(x.size() * 2);
+  std::memcpy(raw.data(), x.data(), raw.size());
+  soc.ddr().poke(MemoryMap::kImageInBase, raw);
+  ASSERT_EQ(drv.run_accelerator(MemoryMap::kImageInBase,
+                                static_cast<u32>(raw.size()),
+                                MemoryMap::kImageOutBase,
+                                static_cast<u32>(raw.size()),
+                                DmaMode::kInterrupt),
+            Status::kOk);
+
+  std::vector<u8> out_raw(raw.size());
+  soc.ddr().peek(MemoryMap::kImageOutBase, out_raw);
+  std::vector<i16> got(x.size());
+  std::memcpy(got.data(), out_raw.data(), out_raw.size());
+  EXPECT_EQ(got, fir_reference(x, c));
+  EXPECT_EQ(drv.rm_reg_read(8), x.size());  // samples-processed counter
+}
+
+}  // namespace
+}  // namespace rvcap

@@ -1,0 +1,113 @@
+// Portability: the paper's conclusion claims RV-CAP "can be ported to
+// all Xilinx FPGA devices that support DPR". The same controller,
+// drivers, bitstream flow and case study run unchanged on the smaller
+// Artix-7 model device.
+#include <gtest/gtest.h>
+
+#include "bitstream/generator.hpp"
+#include "common/units.hpp"
+#include "driver/rvcap_driver.hpp"
+#include "soc/ariane_soc.hpp"
+
+namespace rvcap {
+namespace {
+
+using driver::DmaMode;
+using soc::ArianeSoc;
+using soc::DeviceModel;
+using soc::MemoryMap;
+using soc::SocConfig;
+
+SocConfig artix_config() {
+  SocConfig cfg;
+  cfg.device = DeviceModel::kArtix7_100t;
+  return cfg;
+}
+
+TEST(ArtixDevice, GeometryApproximatesXC7A100T) {
+  const auto dev = fabric::DeviceGeometry::artix7_100t();
+  const auto total = dev.total_resources();
+  // Real XC7A100T: 63400 LUT, 126800 FF, 135 BRAM36, 240 DSP.
+  EXPECT_NEAR(total.luts, 63400, 63400 * 0.05);
+  EXPECT_NEAR(total.ffs, 126800, 126800 * 0.05);
+  EXPECT_EQ(total.dsps, 240u);
+  EXPECT_EQ(dev.rows(), 4u);
+}
+
+TEST(ArtixDevice, CaseStudyPartitionFootprintIsIdentical) {
+  const auto kintex = fabric::DeviceGeometry::kintex7_325t();
+  const auto artix = fabric::DeviceGeometry::artix7_100t();
+  const auto rp_k = fabric::case_study_partition(kintex);
+  const auto rp_a = fabric::case_study_partition(artix);
+  // Same resources, same frame count, same bitstream size — the RP is
+  // a device-independent footprint.
+  EXPECT_EQ(rp_k.resources(kintex), rp_a.resources(artix));
+  EXPECT_EQ(rp_a.frame_count(artix), 805u);
+  EXPECT_EQ(rp_a.pbit_bytes(artix), 650892u);
+}
+
+TEST(ArtixSoC, FullReconfigurationFlowUnchanged) {
+  ArianeSoc soc(artix_config());
+  EXPECT_EQ(soc.device().name(), "xc7a100t-model");
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdMedian, "median"});
+  soc.ddr().poke(MemoryMap::kPbitStagingBase, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdMedian,
+                           MemoryMap::kPbitStagingBase,
+                           static_cast<u32>(pbit.size())};
+  ASSERT_EQ(drv.init_reconfig_process(m, DmaMode::kInterrupt), Status::kOk);
+
+  const auto st = soc.config_memory().partition_state(soc.rp0_handle());
+  EXPECT_TRUE(st.loaded);
+  EXPECT_EQ(st.rm_id, accel::kRmIdMedian);
+  // Same ICAP, same throughput envelope as on the Kintex-7.
+  const double mbps = m.pbit_size / drv.last_timing().reconfig_us();
+  EXPECT_GT(mbps, 390.0);
+  EXPECT_LT(mbps, 400.0);
+}
+
+TEST(ArtixSoC, AccelerationModeBitExact) {
+  ArianeSoc soc(artix_config());
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  soc.ddr().poke(MemoryMap::kPbitStagingBase, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdSobel,
+                           MemoryMap::kPbitStagingBase,
+                           static_cast<u32>(pbit.size())};
+  ASSERT_EQ(drv.init_reconfig_process(m, DmaMode::kInterrupt), Status::kOk);
+
+  const accel::Image img = accel::make_test_image(512, 512, 12);
+  soc.ddr().poke(MemoryMap::kImageInBase, img.pixels);
+  ASSERT_EQ(drv.run_accelerator(MemoryMap::kImageInBase, 512 * 512,
+                                MemoryMap::kImageOutBase, 512 * 512,
+                                DmaMode::kInterrupt),
+            Status::kOk);
+  std::vector<u8> out(512 * 512);
+  soc.ddr().peek(MemoryMap::kImageOutBase, out);
+  EXPECT_EQ(out,
+            accel::apply_golden(accel::FilterKind::kSobel, img).pixels);
+}
+
+TEST(ArtixSoC, BitstreamsAreNotCrossDeviceCompatible) {
+  // A Kintex bitstream must not configure the Artix model: the window
+  // columns differ, so frame addresses land outside the partition.
+  ArianeSoc artix(artix_config());
+  const auto kintex = fabric::DeviceGeometry::kintex7_325t();
+  const auto rp_k = fabric::case_study_partition(kintex);
+  const auto pbit = bitstream::generate_partial_bitstream(
+      kintex, rp_k, {accel::kRmIdSobel, "s"});
+  driver::RvCapDriver drv(artix.cpu(), artix.plic());
+  artix.ddr().poke(MemoryMap::kPbitStagingBase, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdSobel,
+                           MemoryMap::kPbitStagingBase,
+                           static_cast<u32>(pbit.size())};
+  ASSERT_EQ(drv.init_reconfig_process(m, DmaMode::kInterrupt), Status::kOk);
+  EXPECT_FALSE(
+      artix.config_memory().partition_state(artix.rp0_handle()).loaded);
+}
+
+}  // namespace
+}  // namespace rvcap

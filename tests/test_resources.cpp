@@ -1,0 +1,151 @@
+// Resource database (Tables I/II/III data) and the state-of-the-art
+// controller models (Table II harness inputs).
+#include <gtest/gtest.h>
+
+#include "resources/database.hpp"
+#include "soa/controllers.hpp"
+
+namespace rvcap {
+namespace {
+
+using resources::Entry;
+using resources::ResourceDb;
+using resources::ResourceVec;
+using resources::Source;
+using soa::DprControllerModel;
+using soa::literature_controllers;
+
+TEST(ResourceVecTest, Arithmetic) {
+  const ResourceVec a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  EXPECT_EQ(a + b, (ResourceVec{11, 22, 33, 44}));
+  EXPECT_EQ(a * 3, (ResourceVec{3, 6, 9, 12}));
+  ResourceVec c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(ResourceVecTest, Covers) {
+  const ResourceVec big{100, 100, 10, 10};
+  EXPECT_TRUE(big.covers({100, 50, 0, 10}));
+  EXPECT_FALSE(big.covers({101, 0, 0, 0}));
+  EXPECT_FALSE(big.covers({0, 0, 11, 0}));
+}
+
+struct DbFixture : ::testing::Test {
+  ResourceDb db = ResourceDb::paper_database();
+};
+
+TEST_F(DbFixture, TableI_RvCapRowsSumToTableIITotal) {
+  // Table I lists RV-CAP as (RP cntrl + AXI modules) + DMA; Table II
+  // reports the combined controller as 2317 LUT / 3953 FF / 6 BRAM.
+  const std::string_view parts[] = {"rvcap.rp_ctrl_axi", "rvcap.dma"};
+  const ResourceVec total = db.total(parts);
+  EXPECT_EQ(total, db.find("soa.rvcap")->res);
+  EXPECT_EQ(total, (ResourceVec{2317, 3953, 6, 0}));
+}
+
+TEST_F(DbFixture, TableI_HwicapRowsSumToTableIITotal) {
+  const std::string_view parts[] = {"hwicap_deploy.axi_modules",
+                                    "hwicap_deploy.axi_hwicap"};
+  const ResourceVec total = db.total(parts);
+  EXPECT_EQ(total, db.find("soa.axi_hwicap_rv64")->res);
+  EXPECT_EQ(total, (ResourceVec{1377, 2200, 2, 0}));
+}
+
+TEST_F(DbFixture, TableIII_ComponentsSumToFullSoc) {
+  const std::string_view parts[] = {"soc.ariane_core",
+                                    "soc.peripherals_bootmem",
+                                    "soc.rvcap_controller", "soc.rp"};
+  const ResourceVec total = db.total(parts);
+  EXPECT_EQ(total, db.find("soc.full")->res);
+  EXPECT_EQ(total, (ResourceVec{74393, 64059, 92, 47}));
+}
+
+TEST_F(DbFixture, TableIII_RmUtilizationPercentages) {
+  const ResourceVec rp = db.find("soc.rp")->res;
+  // Paper: Gaussian 28.15% LUT, 12.07% FF, 13.33% BRAM.
+  const auto g = utilization_pct(db.find("soc.rm.gaussian")->res, rp);
+  EXPECT_NEAR(g.luts, 28.15, 0.02);
+  EXPECT_NEAR(g.ffs, 12.07, 0.02);
+  EXPECT_NEAR(g.brams, 13.33, 0.01);
+  // Median 72.65% LUT; Sobel 57.18% LUT / 50.37% FF.
+  EXPECT_NEAR(utilization_pct(db.find("soc.rm.median")->res, rp).luts,
+              72.65, 0.02);
+  const auto s = utilization_pct(db.find("soc.rm.sobel")->res, rp);
+  EXPECT_NEAR(s.luts, 57.18, 0.02);
+  EXPECT_NEAR(s.ffs, 50.37, 0.02);
+}
+
+TEST_F(DbFixture, LookupAndPrefixQueries) {
+  EXPECT_NE(db.find("soa.zycap"), nullptr);
+  EXPECT_EQ(db.find("soa.nonexistent"), nullptr);
+  EXPECT_EQ(db.under("soc.rm.").size(), 3u);
+  EXPECT_GE(db.under("soa.").size(), 10u);
+  const std::string_view missing[] = {"nope"};
+  EXPECT_THROW((void)db.total(missing), std::out_of_range);
+}
+
+TEST_F(DbFixture, ProvenanceTagged) {
+  EXPECT_EQ(db.find("soa.zycap")->source, Source::kLiterature);
+  EXPECT_EQ(db.find("soc.full")->source, Source::kPaperReported);
+  EXPECT_EQ(to_string(Source::kModelDerived), "model");
+}
+
+TEST(UtilizationPct, ZeroDenominatorIsZero) {
+  const auto p = resources::utilization_pct({5, 5, 5, 5}, {10, 0, 10, 0});
+  EXPECT_DOUBLE_EQ(p.luts, 50.0);
+  EXPECT_DOUBLE_EQ(p.ffs, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// State-of-the-art controller models
+// ---------------------------------------------------------------------------
+
+TEST(SoaModels, AllEightLiteratureRowsPresent) {
+  const auto specs = literature_controllers();
+  ASSERT_EQ(specs.size(), 8u);
+  const ResourceDb db = ResourceDb::paper_database();
+  for (const auto& s : specs) {
+    EXPECT_NE(db.find(s.key), nullptr) << s.key;
+  }
+}
+
+TEST(SoaModels, CalibratedModelsReproduceReportedThroughput) {
+  for (const auto& spec : literature_controllers()) {
+    const DprControllerModel model(spec);
+    const double mbps = model.throughput_mbps(650892);
+    EXPECT_NEAR(mbps, spec.reported_mbps, spec.reported_mbps * 0.005)
+        << spec.name;
+  }
+}
+
+TEST(SoaModels, DmaControllersStayUnderIcapCeiling) {
+  for (const auto& spec : literature_controllers()) {
+    const DprControllerModel model(spec);
+    EXPECT_LE(model.throughput_mbps(650892), 400.0) << spec.name;
+    EXPECT_GE(spec.cycles_per_word, 1.0)
+        << spec.name << ": nothing beats the 32-bit-per-cycle port";
+  }
+}
+
+TEST(SoaModels, SetupOverheadHurtsSmallBitstreamsMore) {
+  const auto specs = literature_controllers();
+  const auto& zycap = specs[1];
+  ASSERT_EQ(zycap.key, "soa.zycap");
+  const DprControllerModel model(zycap);
+  EXPECT_LT(model.throughput_mbps(10'000), model.throughput_mbps(650'892));
+}
+
+TEST(SoaModels, KeyholeControllersAreOrdersOfMagnitudeSlower) {
+  const auto specs = literature_controllers();
+  double hwicap_arm = 0, vipin = 0;
+  for (const auto& s : specs) {
+    const DprControllerModel m(s);
+    if (s.key == "soa.axi_hwicap_arm") hwicap_arm = m.throughput_mbps(650892);
+    if (s.key == "soa.vipin") vipin = m.throughput_mbps(650892);
+  }
+  EXPECT_GT(vipin / hwicap_arm, 25.0);
+}
+
+}  // namespace
+}  // namespace rvcap

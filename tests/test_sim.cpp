@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hpp"
+#include "sim/simulator.hpp"
+
+namespace rvcap::sim {
+namespace {
+
+TEST(Fifo, PushPopOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_TRUE(f.push(3));
+  EXPECT_EQ(*f.pop(), 1);
+  EXPECT_EQ(*f.pop(), 2);
+  EXPECT_EQ(*f.pop(), 3);
+  EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(Fifo, RespectsCapacity) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_FALSE(f.push(3));  // full: back-pressure
+  EXPECT_TRUE(f.full());
+  f.pop();
+  EXPECT_TRUE(f.push(3));
+}
+
+TEST(Fifo, VacancyTracksOccupancy) {
+  Fifo<int> f(8);
+  EXPECT_EQ(f.vacancy(), 8u);
+  f.push(1);
+  f.push(2);
+  EXPECT_EQ(f.vacancy(), 6u);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Fifo, FrontPeeksWithoutConsuming) {
+  Fifo<int> f(2);
+  EXPECT_EQ(f.front(), nullptr);
+  f.push(42);
+  ASSERT_NE(f.front(), nullptr);
+  EXPECT_EQ(*f.front(), 42);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Fifo, LifetimeCounters) {
+  Fifo<int> f(4);
+  for (int i = 0; i < 3; ++i) f.push(i);
+  f.pop();
+  EXPECT_EQ(f.total_pushed(), 3u);
+  EXPECT_EQ(f.total_popped(), 1u);
+}
+
+TEST(Fifo, ClearEmpties) {
+  Fifo<int> f(4);
+  f.push(1);
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+}
+
+class Counter : public Component {
+ public:
+  Counter() : Component("counter") {}
+  void tick() override { ++count; }
+  bool busy() const override { return count < target; }
+  u64 count = 0;
+  u64 target = 0;
+};
+
+TEST(Simulator, TicksComponentsOncePerCycle) {
+  Simulator s;
+  Counter a, b;
+  s.add(&a);
+  s.add(&b);
+  s.run_cycles(10);
+  EXPECT_EQ(s.now(), 10u);
+  EXPECT_EQ(a.count, 10u);
+  EXPECT_EQ(b.count, 10u);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator s;
+  Counter a;
+  s.add(&a);
+  EXPECT_TRUE(s.run_until([&] { return a.count >= 7; }, 100));
+  EXPECT_EQ(a.count, 7u);
+}
+
+TEST(Simulator, RunUntilWatchdogExpires) {
+  Simulator s;
+  Counter a;
+  s.add(&a);
+  EXPECT_FALSE(s.run_until([] { return false; }, 50));
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(Simulator, RunUntilIdleUsesBusyFlags) {
+  Simulator s;
+  Counter a;
+  a.target = 25;
+  s.add(&a);
+  EXPECT_TRUE(s.run_until_idle(1000));
+  EXPECT_GE(a.count, 25u);
+}
+
+TEST(Simulator, TimeAdvancesMonotonically) {
+  Simulator s;
+  const Cycles t0 = s.now();
+  s.step();
+  EXPECT_EQ(s.now(), t0 + 1);
+  s.run_cycles(0);
+  EXPECT_EQ(s.now(), t0 + 1);
+}
+
+}  // namespace
+}  // namespace rvcap::sim

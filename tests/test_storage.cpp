@@ -1,0 +1,532 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "storage/fat32.hpp"
+#include "storage/sd_card.hpp"
+#include "storage/spi.hpp"
+
+namespace rvcap {
+namespace {
+
+using storage::Fat32Volume;
+using storage::kBlockSize;
+using storage::MemBlockIo;
+using storage::SdCard;
+using storage::SpiController;
+
+// ---------------------------------------------------------------------------
+// SD card protocol
+// ---------------------------------------------------------------------------
+
+class SdProto : public ::testing::Test {
+ protected:
+  SdProto() : card(131072) {}  // 64 MiB
+
+  // Send a command frame and collect the R1 byte.
+  u8 command(u8 cmd, u32 arg) {
+    std::array<u8, 6> frame{static_cast<u8>(0x40 | cmd),
+                            static_cast<u8>(arg >> 24),
+                            static_cast<u8>(arg >> 16),
+                            static_cast<u8>(arg >> 8),
+                            static_cast<u8>(arg),
+                            0xFF};
+    frame[5] = static_cast<u8>((SdCard::crc7({frame.data(), 5}) << 1) | 1);
+    for (u8 b : frame) card.exchange(b, true);
+    for (int i = 0; i < 10; ++i) {
+      const u8 r = card.exchange(0xFF, true);
+      if (r != 0xFF) return r;
+    }
+    return 0xFF;
+  }
+
+  void init_card() {
+    command(0, 0);
+    command(8, 0x1AA);
+    // ACMD41 until ready.
+    for (int i = 0; i < 10 && !card.initialized(); ++i) {
+      command(55, 0);
+      command(41, 0x40000000);
+    }
+    ASSERT_TRUE(card.initialized());
+  }
+
+  SdCard card;
+};
+
+TEST_F(SdProto, Cmd0EntersIdle) {
+  EXPECT_EQ(command(0, 0), 0x01);
+  EXPECT_FALSE(card.initialized());
+}
+
+TEST_F(SdProto, Cmd0RejectsBadCrc) {
+  std::array<u8, 6> frame{0x40, 0, 0, 0, 0, 0x00};  // wrong CRC7
+  for (u8 b : frame) card.exchange(b, true);
+  u8 r1 = 0xFF;
+  for (int i = 0; i < 10 && r1 == 0xFF; ++i) r1 = card.exchange(0xFF, true);
+  EXPECT_EQ(r1, 0x04);  // illegal command
+}
+
+TEST_F(SdProto, Cmd8EchoesCheckPattern) {
+  command(0, 0);
+  const u8 r1 = command(8, 0x1AA);
+  EXPECT_EQ(r1, 0x01);
+  // Remaining 4 R7 bytes follow immediately.
+  card.exchange(0xFF, true);  // 0x00
+  card.exchange(0xFF, true);  // 0x00
+  EXPECT_EQ(card.exchange(0xFF, true), 0x01);  // voltage
+  EXPECT_EQ(card.exchange(0xFF, true), 0xAA);  // check pattern
+}
+
+TEST_F(SdProto, Acmd41InitializesAfterRetries) {
+  command(0, 0);
+  command(55, 0);
+  EXPECT_EQ(command(41, 0x40000000), 0x01) << "first poll still idle";
+  command(55, 0);
+  EXPECT_EQ(command(41, 0x40000000), 0x00);
+  EXPECT_TRUE(card.initialized());
+}
+
+TEST_F(SdProto, ReadBlockDeliversTokenDataCrc) {
+  init_card();
+  std::array<u8, kBlockSize> ref{};
+  for (u32 i = 0; i < kBlockSize; ++i) ref[i] = static_cast<u8>(i * 7);
+  card.backdoor_write(5, ref);
+
+  EXPECT_EQ(command(17, 5), 0x00);
+  // Hunt for the 0xFE token.
+  u8 b = 0xFF;
+  for (int i = 0; i < 16 && b != 0xFE; ++i) b = card.exchange(0xFF, true);
+  ASSERT_EQ(b, 0xFE);
+  std::array<u8, kBlockSize> got{};
+  for (auto& x : got) x = card.exchange(0xFF, true);
+  EXPECT_EQ(got, ref);
+  const u16 crc = static_cast<u16>((card.exchange(0xFF, true) << 8) |
+                                   card.exchange(0xFF, true));
+  EXPECT_EQ(crc, SdCard::crc16(ref));
+  EXPECT_EQ(card.blocks_read(), 1u);
+}
+
+TEST_F(SdProto, WriteBlockRoundtrip) {
+  init_card();
+  std::array<u8, kBlockSize> data{};
+  for (u32 i = 0; i < kBlockSize; ++i) data[i] = static_cast<u8>(255 - i);
+
+  EXPECT_EQ(command(24, 9), 0x00);
+  card.exchange(0xFF, true);  // gap
+  card.exchange(0xFE, true);  // start token
+  for (u8 byte : data) card.exchange(byte, true);
+  const u16 crc = SdCard::crc16(data);
+  card.exchange(static_cast<u8>(crc >> 8), true);
+  card.exchange(static_cast<u8>(crc), true);
+  // Data response then busy.
+  u8 resp = 0xFF;
+  for (int i = 0; i < 8 && resp == 0xFF; ++i) resp = card.exchange(0xFF, true);
+  EXPECT_EQ(resp & 0x1F, 0x05);
+  while (card.exchange(0xFF, true) == 0x00) {
+  }
+  std::array<u8, kBlockSize> got{};
+  card.backdoor_read(9, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(card.blocks_written(), 1u);
+}
+
+TEST_F(SdProto, WriteWithBadCrcRejected) {
+  init_card();
+  std::array<u8, kBlockSize> data{};
+  EXPECT_EQ(command(24, 3), 0x00);
+  card.exchange(0xFE, true);
+  for (u8 byte : data) card.exchange(byte, true);
+  card.exchange(0xDE, true);  // wrong CRC
+  card.exchange(0xAD, true);
+  u8 resp = 0xFF;
+  for (int i = 0; i < 8 && resp == 0xFF; ++i) resp = card.exchange(0xFF, true);
+  EXPECT_EQ(resp & 0x1F, 0x0B);
+  EXPECT_EQ(card.crc_errors(), 1u);
+  EXPECT_EQ(card.blocks_written(), 0u);
+}
+
+TEST_F(SdProto, ReadBeforeInitIsIllegal) {
+  command(0, 0);
+  EXPECT_EQ(command(17, 0), 0x04);
+}
+
+TEST_F(SdProto, OutOfRangeReadIsParameterError) {
+  init_card();
+  EXPECT_EQ(command(17, card.block_count()), 0x40);
+}
+
+TEST_F(SdProto, DeselectAbortsCommandFrame) {
+  card.exchange(0x40, true);  // first byte of CMD0
+  EXPECT_EQ(card.exchange(0xFF, false), 0xFF);  // deselected
+  // Card must have reset the frame: a fresh CMD0 works.
+  EXPECT_EQ(command(0, 0), 0x01);
+}
+
+TEST(SdCrc, KnownVectors) {
+  // CRC16-CCITT of 512 x 0xFF is a known SD value: 0x7FA1.
+  std::array<u8, kBlockSize> ff{};
+  ff.fill(0xFF);
+  EXPECT_EQ(SdCard::crc16(ff), 0x7FA1);
+  // CRC7 of CMD0 (0x40 00 00 00 00) is 0x4A -> frame byte 0x95.
+  const u8 cmd0[] = {0x40, 0, 0, 0, 0};
+  EXPECT_EQ(static_cast<u8>((SdCard::crc7(cmd0) << 1) | 1), 0x95);
+}
+
+// ---------------------------------------------------------------------------
+// SPI controller
+// ---------------------------------------------------------------------------
+
+struct SpiFixture : ::testing::Test {
+  SpiFixture() : card(4096), spi("spi", card, 4) { s.add(&spi); }
+
+  u32 reg_read(Addr a) {
+    spi.port().ar.push(axi::LiteAr{a});
+    EXPECT_TRUE(s.run_until([&] { return spi.port().r.can_pop(); }, 10000));
+    return spi.port().r.pop()->data;
+  }
+  void reg_write(Addr a, u32 v) {
+    spi.port().aw.push(axi::LiteAw{a});
+    spi.port().w.push(axi::LiteW{v, 0xF});
+    EXPECT_TRUE(s.run_until([&] { return spi.port().b.can_pop(); }, 10000));
+    spi.port().b.pop();
+  }
+  u8 xfer(u8 b) {
+    reg_write(SpiController::kDtr, b);
+    while (reg_read(SpiController::kSr) & SpiController::kSrRxEmpty) {
+    }
+    return static_cast<u8>(reg_read(SpiController::kDrr));
+  }
+
+  sim::Simulator s;
+  SdCard card;
+  SpiController spi;
+};
+
+TEST_F(SpiFixture, IdleStatus) {
+  const u32 sr = reg_read(SpiController::kSr);
+  EXPECT_TRUE(sr & SpiController::kSrRxEmpty);
+  EXPECT_TRUE(sr & SpiController::kSrTxEmpty);
+  EXPECT_FALSE(sr & SpiController::kSrBusy);
+}
+
+TEST_F(SpiFixture, DisabledControllerDoesNotShift) {
+  reg_write(SpiController::kDtr, 0xFF);
+  s.run_cycles(200);
+  EXPECT_TRUE(reg_read(SpiController::kSr) & SpiController::kSrRxEmpty);
+}
+
+TEST_F(SpiFixture, ByteTransferTakesEightDividedClocks) {
+  reg_write(SpiController::kCr, 1);           // enable
+  reg_write(SpiController::kSsr, 1);          // deselected
+  const Cycles t0 = s.now();
+  const u8 miso = xfer(0xFF);
+  EXPECT_EQ(miso, 0xFF);  // deselected card tristates high
+  // 8 bits * divider 4 = 32 wire cycles, plus register-access time.
+  EXPECT_GE(s.now() - t0, 32u);
+  EXPECT_EQ(spi.bytes_transferred(), 1u);
+}
+
+TEST_F(SpiFixture, FullSdInitThroughController) {
+  reg_write(SpiController::kCr, 1);
+  reg_write(SpiController::kSsr, 0);  // select card
+  auto cmd = [&](u8 c, u32 arg) -> u8 {
+    std::array<u8, 6> f{static_cast<u8>(0x40 | c), static_cast<u8>(arg >> 24),
+                        static_cast<u8>(arg >> 16), static_cast<u8>(arg >> 8),
+                        static_cast<u8>(arg), 0};
+    f[5] = static_cast<u8>((SdCard::crc7({f.data(), 5}) << 1) | 1);
+    for (u8 b : f) xfer(b);
+    u8 r = 0xFF;
+    for (int i = 0; i < 10 && r == 0xFF; ++i) r = xfer(0xFF);
+    return r;
+  };
+  EXPECT_EQ(cmd(0, 0), 0x01);
+  cmd(8, 0x1AA);
+  for (int i = 0; i < 4; ++i) xfer(0xFF);  // drain R7 tail
+  for (int i = 0; i < 5 && !card.initialized(); ++i) {
+    cmd(55, 0);
+    cmd(41, 0x40000000);
+  }
+  EXPECT_TRUE(card.initialized());
+}
+
+// ---------------------------------------------------------------------------
+// FAT32
+// ---------------------------------------------------------------------------
+
+struct Fat32Fixture : ::testing::Test {
+  Fat32Fixture() : card(131072), io(card), vol(io) {
+    EXPECT_EQ(storage::fat32_format(io), Status::kOk);
+    EXPECT_EQ(vol.mount(), Status::kOk);
+  }
+  SdCard card;
+  MemBlockIo io;
+  Fat32Volume vol;
+};
+
+TEST_F(Fat32Fixture, MountParsesGeometry) {
+  EXPECT_TRUE(vol.mounted());
+  EXPECT_EQ(vol.cluster_bytes(), 4096u);
+  EXPECT_GT(vol.total_clusters(), 16000u);
+}
+
+TEST_F(Fat32Fixture, MountRejectsUnformattedDevice) {
+  SdCard blank(4096);
+  MemBlockIo bio(blank);
+  Fat32Volume v(bio);
+  EXPECT_EQ(v.mount(), Status::kProtocolError);
+}
+
+TEST_F(Fat32Fixture, WriteReadSmallFile) {
+  const std::string text = "hello reconfigurable world";
+  ASSERT_EQ(vol.write_file("HELLO.TXT",
+                           {reinterpret_cast<const u8*>(text.data()),
+                            text.size()}),
+            Status::kOk);
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("HELLO.TXT", out), Status::kOk);
+  EXPECT_EQ(std::string(out.begin(), out.end()), text);
+}
+
+TEST_F(Fat32Fixture, CaseInsensitiveLookup) {
+  const u8 data[] = {1, 2, 3};
+  ASSERT_EQ(vol.write_file("Sobel.Pb", data), Status::kOk);
+  u32 size = 0;
+  EXPECT_EQ(vol.file_size("SOBEL.PB", &size), Status::kOk);
+  EXPECT_EQ(size, 3u);
+}
+
+TEST_F(Fat32Fixture, MultiClusterFileRoundtrip) {
+  SplitMix64 rng(42);
+  std::vector<u8> big(3 * 4096 + 777);  // spans 4 clusters
+  for (auto& b : big) b = rng.next_byte();
+  ASSERT_EQ(vol.write_file("BIG.BIN", big), Status::kOk);
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("BIG.BIN", out), Status::kOk);
+  EXPECT_EQ(out, big);
+}
+
+TEST_F(Fat32Fixture, BitstreamSizedFileRoundtrip) {
+  // The paper's partial bitstream: 650892 bytes (159 clusters).
+  SplitMix64 rng(7);
+  std::vector<u8> pbit(650892);
+  for (auto& b : pbit) b = rng.next_byte();
+  ASSERT_EQ(vol.write_file("SOBEL.PB", pbit), Status::kOk);
+  u32 size = 0;
+  ASSERT_EQ(vol.file_size("SOBEL.PB", &size), Status::kOk);
+  EXPECT_EQ(size, 650892u);
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("SOBEL.PB", out), Status::kOk);
+  EXPECT_EQ(out, pbit);
+}
+
+TEST_F(Fat32Fixture, OverwriteShrinksFile) {
+  std::vector<u8> big(10000, 0xAB), small(100, 0xCD);
+  const u32 free0 = vol.free_clusters();
+  ASSERT_EQ(vol.write_file("F.BIN", big), Status::kOk);
+  ASSERT_EQ(vol.write_file("F.BIN", small), Status::kOk);  // overwrite
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("F.BIN", out), Status::kOk);
+  EXPECT_EQ(out, small);
+  // All but one cluster reclaimed.
+  EXPECT_EQ(vol.free_clusters(), free0 - 1);
+}
+
+TEST_F(Fat32Fixture, OverwriteGrowsFile) {
+  std::vector<u8> small(10, 1), big(9000, 2);
+  ASSERT_EQ(vol.write_file("G.BIN", small), Status::kOk);
+  ASSERT_EQ(vol.write_file("G.BIN", big), Status::kOk);
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("G.BIN", out), Status::kOk);
+  EXPECT_EQ(out, big);
+}
+
+TEST_F(Fat32Fixture, EmptyFile) {
+  ASSERT_EQ(vol.write_file("EMPTY", {}), Status::kOk);
+  u32 size = 99;
+  ASSERT_EQ(vol.file_size("EMPTY", &size), Status::kOk);
+  EXPECT_EQ(size, 0u);
+  std::vector<u8> out{1, 2, 3};
+  ASSERT_EQ(vol.read_file("EMPTY", out), Status::kOk);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(Fat32Fixture, ReadRangeAcrossClusterBoundary) {
+  std::vector<u8> data(8192);
+  for (usize i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  ASSERT_EQ(vol.write_file("R.BIN", data), Status::kOk);
+  std::vector<u8> out(1000);
+  ASSERT_EQ(vol.read_file_range("R.BIN", 3700, out), Status::kOk);
+  for (usize i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<u8>(3700 + i));
+  }
+}
+
+TEST_F(Fat32Fixture, ReadRangePastEofRejected) {
+  std::vector<u8> data(100, 5);
+  ASSERT_EQ(vol.write_file("S.BIN", data), Status::kOk);
+  std::vector<u8> out(50);
+  EXPECT_EQ(vol.read_file_range("S.BIN", 80, out), Status::kOutOfRange);
+}
+
+TEST_F(Fat32Fixture, MissingFileNotFound) {
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("NOPE.BIN", out), Status::kNotFound);
+  u32 size = 0;
+  EXPECT_EQ(vol.file_size("NOPE.BIN", &size), Status::kNotFound);
+}
+
+TEST_F(Fat32Fixture, InvalidNamesRejected) {
+  const u8 d[] = {1};
+  EXPECT_EQ(vol.write_file("TOOLONGNAME.BIN", d), Status::kInvalidArgument);
+  EXPECT_EQ(vol.write_file("A.LONG", d), Status::kInvalidArgument);
+  EXPECT_EQ(vol.write_file("", d), Status::kInvalidArgument);
+  std::array<u8, 11> raw{};
+  EXPECT_EQ(Fat32Volume::to_83("OK.BIN", &raw), Status::kOk);
+  EXPECT_EQ(std::memcmp(raw.data(), "OK      BIN", 11), 0);
+}
+
+TEST_F(Fat32Fixture, SubdirectoryCreateAndUse) {
+  ASSERT_EQ(vol.make_dir("BITS"), Status::kOk);
+  const u8 d[] = {9, 9, 9};
+  ASSERT_EQ(vol.write_file("BITS/MEDIAN.PB", d), Status::kOk);
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("BITS/MEDIAN.PB", out), Status::kOk);
+  EXPECT_EQ(out.size(), 3u);
+  // Not visible at root.
+  std::vector<u8> dummy;
+  EXPECT_EQ(vol.read_file("MEDIAN.PB", dummy), Status::kNotFound);
+}
+
+TEST_F(Fat32Fixture, ListRootAndSubdir) {
+  ASSERT_EQ(vol.make_dir("SUB"), Status::kOk);
+  const u8 d[] = {1};
+  ASSERT_EQ(vol.write_file("A.BIN", d), Status::kOk);
+  ASSERT_EQ(vol.write_file("SUB/B.BIN", d), Status::kOk);
+  std::vector<storage::DirEntryInfo> entries;
+  ASSERT_EQ(vol.list("", entries), Status::kOk);
+  ASSERT_EQ(entries.size(), 2u);
+  std::vector<storage::DirEntryInfo> sub;
+  ASSERT_EQ(vol.list("SUB", sub), Status::kOk);
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub[0].name, "B.BIN");
+}
+
+TEST_F(Fat32Fixture, RemoveFileFreesClusters) {
+  const u32 free0 = vol.free_clusters();
+  std::vector<u8> data(20000, 3);
+  ASSERT_EQ(vol.write_file("DEL.BIN", data), Status::kOk);
+  EXPECT_LT(vol.free_clusters(), free0);
+  ASSERT_EQ(vol.remove("DEL.BIN"), Status::kOk);
+  EXPECT_EQ(vol.free_clusters(), free0);
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("DEL.BIN", out), Status::kNotFound);
+}
+
+TEST_F(Fat32Fixture, RemoveNonEmptyDirRefused) {
+  ASSERT_EQ(vol.make_dir("D"), Status::kOk);
+  const u8 d[] = {1};
+  ASSERT_EQ(vol.write_file("D/X.BIN", d), Status::kOk);
+  EXPECT_EQ(vol.remove("D"), Status::kDeviceBusy);
+  ASSERT_EQ(vol.remove("D/X.BIN"), Status::kOk);
+  EXPECT_EQ(vol.remove("D"), Status::kOk);
+}
+
+TEST_F(Fat32Fixture, DuplicateMkdirRejected) {
+  ASSERT_EQ(vol.make_dir("DUP"), Status::kOk);
+  EXPECT_EQ(vol.make_dir("DUP"), Status::kAlreadyExists);
+}
+
+TEST_F(Fat32Fixture, ManyFilesExtendDirectory) {
+  // 4 KiB root cluster = 128 entries; exceed it so the chain grows.
+  const u8 d[] = {7};
+  for (int i = 0; i < 200; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof name, "F%03d.BIN", i);
+    ASSERT_EQ(vol.write_file(name, d), Status::kOk) << name;
+  }
+  std::vector<storage::DirEntryInfo> entries;
+  ASSERT_EQ(vol.list("", entries), Status::kOk);
+  EXPECT_EQ(entries.size(), 200u);
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("F199.BIN", out), Status::kOk);
+}
+
+TEST_F(Fat32Fixture, MountSurvivesRemount) {
+  const u8 d[] = {4, 5, 6};
+  ASSERT_EQ(vol.write_file("PERSIST.BIN", d), Status::kOk);
+  Fat32Volume second(io);
+  ASSERT_EQ(second.mount(), Status::kOk);
+  std::vector<u8> out;
+  ASSERT_EQ(second.read_file("PERSIST.BIN", out), Status::kOk);
+  EXPECT_EQ(out, (std::vector<u8>{4, 5, 6}));
+}
+
+// Property test: random create/overwrite/remove against an in-memory
+// reference model, parameterized over seeds.
+class Fat32Property : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Fat32Property, RandomOpsMatchReferenceModel) {
+  SdCard card(131072);
+  MemBlockIo io(card);
+  EXPECT_EQ(storage::fat32_format(io), Status::kOk);
+  Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+
+  SplitMix64 rng(GetParam());
+  std::map<std::string, std::vector<u8>> ref;
+  const char* names[] = {"A.BIN", "B.BIN", "C.PB", "D.TXT", "E.DAT",
+                         "F.BIN", "G.PB", "H.BIN"};
+
+  for (int step = 0; step < 120; ++step) {
+    const std::string name = names[rng.next_below(8)];
+    switch (rng.next_below(3)) {
+      case 0: {  // write / overwrite
+        std::vector<u8> data(rng.next_below(12000));
+        for (auto& b : data) b = rng.next_byte();
+        ASSERT_EQ(vol.write_file(name, data), Status::kOk);
+        ref[name] = std::move(data);
+        break;
+      }
+      case 1: {  // read
+        std::vector<u8> out;
+        const Status st = vol.read_file(name, out);
+        if (ref.count(name)) {
+          ASSERT_EQ(st, Status::kOk);
+          ASSERT_EQ(out, ref[name]);
+        } else {
+          ASSERT_EQ(st, Status::kNotFound);
+        }
+        break;
+      }
+      case 2: {  // remove
+        const Status st = vol.remove(name);
+        if (ref.count(name)) {
+          ASSERT_EQ(st, Status::kOk);
+          ref.erase(name);
+        } else {
+          ASSERT_EQ(st, Status::kNotFound);
+        }
+        break;
+      }
+    }
+  }
+  // Final sweep: everything in the reference must read back intact.
+  for (const auto& [name, data] : ref) {
+    std::vector<u8> out;
+    ASSERT_EQ(vol.read_file(name, out), Status::kOk);
+    ASSERT_EQ(out, data) << name;
+  }
+  std::vector<storage::DirEntryInfo> entries;
+  ASSERT_EQ(vol.list("", entries), Status::kOk);
+  EXPECT_EQ(entries.size(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fat32Property,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace rvcap

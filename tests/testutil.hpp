@@ -1,0 +1,91 @@
+// Shared test helpers: a bus-functional manager for driving AxiPort /
+// AxiLitePort links cycle-accurately from tests, and a scriptable
+// register device.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "axi/lite_slave.hpp"
+#include "axi/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace rvcap::test {
+
+/// Issue a single-beat 64-bit write as a bus manager and wait for B.
+inline axi::Resp bfm_write64(sim::Simulator& s, axi::AxiPort& p, Addr addr,
+                             u64 data, u8 strb = 0xFF) {
+  EXPECT_TRUE(p.aw.push(axi::AxiAw{addr, 0, 3}));
+  EXPECT_TRUE(p.w.push(axi::AxiW{data, strb, true}));
+  EXPECT_TRUE(s.run_until([&] { return p.b.can_pop(); }, 100000));
+  return p.b.pop()->resp;
+}
+
+/// Issue a single-beat 64-bit read and wait for the data beat.
+inline std::pair<u64, axi::Resp> bfm_read64(sim::Simulator& s, axi::AxiPort& p,
+                                            Addr addr) {
+  EXPECT_TRUE(p.ar.push(axi::AxiAr{addr, 0, 3}));
+  EXPECT_TRUE(s.run_until([&] { return p.r.can_pop(); }, 100000));
+  const axi::AxiR r = *p.r.pop();
+  EXPECT_TRUE(r.last);
+  return {r.data, r.resp};
+}
+
+/// Issue a burst read of `beats` 64-bit beats; returns the payload.
+inline std::vector<u64> bfm_read_burst(sim::Simulator& s, axi::AxiPort& p,
+                                       Addr addr, u32 beats) {
+  EXPECT_TRUE(p.ar.push(axi::AxiAr{addr, static_cast<u8>(beats - 1), 3}));
+  std::vector<u64> out;
+  while (out.size() < beats) {
+    EXPECT_TRUE(s.run_until([&] { return p.r.can_pop(); }, 100000));
+    const axi::AxiR r = *p.r.pop();
+    out.push_back(r.data);
+    if (r.last) break;
+  }
+  EXPECT_EQ(out.size(), beats);
+  return out;
+}
+
+/// Issue a burst write; waits for the B response.
+inline axi::Resp bfm_write_burst(sim::Simulator& s, axi::AxiPort& p, Addr addr,
+                                 std::span<const u64> data) {
+  EXPECT_TRUE(p.aw.push(
+      axi::AxiAw{addr, static_cast<u8>(data.size() - 1), 3}));
+  usize i = 0;
+  while (i < data.size()) {
+    if (p.w.push(axi::AxiW{data[i], 0xFF, i + 1 == data.size()})) {
+      ++i;
+    } else {
+      s.step();
+    }
+  }
+  EXPECT_TRUE(s.run_until([&] { return p.b.can_pop(); }, 100000));
+  return p.b.pop()->resp;
+}
+
+/// Sparse 32-bit register file with access logging — stands in for any
+/// AXI4-Lite device under test.
+class ScratchRegs : public axi::AxiLiteSlave {
+ public:
+  explicit ScratchRegs(std::string name, u32 latency = 1)
+      : AxiLiteSlave(std::move(name), latency) {}
+
+  std::map<Addr, u32> regs;
+  std::vector<std::pair<Addr, u32>> write_log;
+
+ protected:
+  u32 read_reg(Addr addr) override {
+    const auto it = regs.find(addr);
+    return it == regs.end() ? 0 : it->second;
+  }
+  void write_reg(Addr addr, u32 value) override {
+    regs[addr] = value;
+    write_log.emplace_back(addr, value);
+  }
+};
+
+}  // namespace rvcap::test

@@ -1,0 +1,251 @@
+// rvcap-pbit: host-side partial-bitstream utility.
+//
+// The offline companion to the library — what you would run on a build
+// machine to prepare SD-card content:
+//
+//   rvcap-pbit generate  <out.pb> [--device kintex7|artix7] [--rm-id N]
+//                        [--name S] [--sparse] [--row R]
+//   rvcap-pbit inspect   <file.pb>
+//   rvcap-pbit compress  <in.pb> <out.pbz>
+//   rvcap-pbit decompress<in.pbz> <out.pb>
+//   rvcap-pbit relocate  <in.pb> <out.pb> --row R
+//                        (retarget the case-study window to another row)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bitstream/compress.hpp"
+#include "common/bytes.hpp"
+#include "bitstream/generator.hpp"
+#include "bitstream/parser.hpp"
+#include "bitstream/relocate.hpp"
+#include "fabric/geometry.hpp"
+
+using namespace rvcap;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rvcap-pbit generate <out.pb> [--device kintex7|artix7]\n"
+      "             [--rm-id N] [--name S] [--sparse] [--row R]\n"
+      "  rvcap-pbit inspect <file.pb>\n"
+      "  rvcap-pbit compress <in.pb> <out.pbz>\n"
+      "  rvcap-pbit decompress <in.pbz> <out.pb>\n"
+      "  rvcap-pbit relocate <in.pb> <out.pb> --row R [--device ...]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::vector<u8>* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  out->assign(std::istreambuf_iterator<char>(f),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool write_file(const std::string& path, std::span<const u8> data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  return f.good();
+}
+
+fabric::DeviceGeometry pick_device(const std::string& name) {
+  if (name == "artix7") return fabric::DeviceGeometry::artix7_100t();
+  return fabric::DeviceGeometry::kintex7_325t();
+}
+
+fabric::Partition window_partition(const fabric::DeviceGeometry& dev,
+                                   u32 row) {
+  std::vector<fabric::Partition::ColumnRef> cols;
+  const u32 start = dev.accel_window_start();
+  for (u32 c = start; c < start + 13; ++c) cols.push_back({row, c});
+  return fabric::Partition("RP_row" + std::to_string(row), std::move(cols));
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string device = "kintex7";
+  std::string name = "module";
+  u32 rm_id = 1;
+  u32 row = ~0u;
+  bool sparse = false;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (s == "--device") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->device = v;
+    } else if (s == "--rm-id") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->rm_id = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (s == "--name") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->name = v;
+    } else if (s == "--row") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->row = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (s == "--sparse") {
+      a->sparse = true;
+    } else if (!s.empty() && s[0] == '-') {
+      return false;
+    } else {
+      a->positional.push_back(s);
+    }
+  }
+  return true;
+}
+
+int cmd_generate(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const auto dev = pick_device(a.device);
+  const u32 row = (a.row == ~0u) ? dev.rows() / 2 : a.row;
+  if (row >= dev.rows()) {
+    std::fprintf(stderr, "row %u out of range (device has %u rows)\n", row,
+                 dev.rows());
+    return 1;
+  }
+  const auto rp = window_partition(dev, row);
+  const auto pbit = bitstream::generate_partial_bitstream(
+      dev, rp, {a.rm_id, a.name},
+      a.sparse ? bitstream::FrameFill::kSparse
+               : bitstream::FrameFill::kHashed);
+  if (!write_file(a.positional[0], pbit)) {
+    std::perror("write");
+    return 1;
+  }
+  std::printf("%s: %zu bytes, device %s, partition %s (%u frames), "
+              "rm_id %u\n",
+              a.positional[0].c_str(), pbit.size(), dev.name().c_str(),
+              rp.name().c_str(), rp.frame_count(dev), a.rm_id);
+  return 0;
+}
+
+int cmd_inspect(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  std::vector<u8> data;
+  if (!read_file(a.positional[0], &data)) {
+    std::perror("read");
+    return 1;
+  }
+  // Compressed container?
+  if (data.size() >= 4 &&
+      load_be32(std::span<const u8>(data).first(4)) ==
+          bitstream::kCompressMagic) {
+    std::vector<u8> raw;
+    if (!ok(bitstream::decompress_bitstream(data, &raw))) {
+      std::printf("RVZ0 container, but the payload is corrupt\n");
+      return 1;
+    }
+    std::printf("RVZ0 compressed container: %zu -> %zu bytes (%.2fx)\n",
+                data.size(), raw.size(),
+                bitstream::compression_ratio(raw.size(), data.size()));
+    data = std::move(raw);
+  }
+  bitstream::ParsedBitstream parsed;
+  if (!ok(bitstream::parse_bitstream(data, &parsed))) {
+    std::printf("not a valid partial bitstream\n");
+    return 1;
+  }
+  std::printf("words: %u   payload: %u (%u frames)\n", parsed.total_words,
+              parsed.payload_words,
+              parsed.payload_words / fabric::kFrameWords);
+  std::printf("idcode: 0x%08X   crc: %s   desync: %s\n", parsed.idcode,
+              parsed.crc_ok ? "ok" : "MISMATCH",
+              parsed.saw_desync ? "yes" : "no");
+  for (const auto& s : parsed.sections) {
+    std::printf("  section @ row %u col %u: %u frames\n", s.start.row,
+                s.start.column, s.frame_count);
+  }
+  return 0;
+}
+
+int cmd_compress(const Args& a, bool decompress) {
+  if (a.positional.size() != 2) return usage();
+  std::vector<u8> in, out;
+  if (!read_file(a.positional[0], &in)) {
+    std::perror("read");
+    return 1;
+  }
+  const Status st = decompress ? bitstream::decompress_bitstream(in, &out)
+                               : bitstream::compress_bitstream(in, &out);
+  if (!ok(st)) {
+    std::fprintf(stderr, "%s failed: %s\n",
+                 decompress ? "decompress" : "compress",
+                 std::string(to_string(st)).c_str());
+    return 1;
+  }
+  if (!write_file(a.positional[1], out)) {
+    std::perror("write");
+    return 1;
+  }
+  std::printf("%zu -> %zu bytes (%.2fx)\n", in.size(), out.size(),
+              decompress
+                  ? bitstream::compression_ratio(out.size(), in.size())
+                  : bitstream::compression_ratio(in.size(), out.size()));
+  return 0;
+}
+
+int cmd_relocate(const Args& a) {
+  if (a.positional.size() != 2 || a.row == ~0u) return usage();
+  const auto dev = pick_device(a.device);
+  if (a.row >= dev.rows()) {
+    std::fprintf(stderr, "row %u out of range\n", a.row);
+    return 1;
+  }
+  std::vector<u8> in;
+  if (!read_file(a.positional[0], &in)) {
+    std::perror("read");
+    return 1;
+  }
+  bitstream::ParsedBitstream parsed;
+  if (!ok(bitstream::parse_bitstream(in, &parsed)) ||
+      parsed.sections.empty()) {
+    std::fprintf(stderr, "not a valid partial bitstream\n");
+    return 1;
+  }
+  const auto from = window_partition(dev, parsed.sections[0].start.row);
+  const auto to = window_partition(dev, a.row);
+  std::vector<u8> out;
+  if (!ok(bitstream::relocate_bitstream(dev, from, to, in, &out))) {
+    std::fprintf(stderr, "relocation failed (incompatible footprints?)\n");
+    return 1;
+  }
+  if (!write_file(a.positional[1], out)) {
+    std::perror("write");
+    return 1;
+  }
+  std::printf("relocated row %u -> row %u (%zu bytes)\n",
+              parsed.sections[0].start.row, a.row, out.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "inspect") return cmd_inspect(args);
+  if (cmd == "compress") return cmd_compress(args, false);
+  if (cmd == "decompress") return cmd_compress(args, true);
+  if (cmd == "relocate") return cmd_relocate(args);
+  return usage();
+}
