@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_image_pipeline.dir/adaptive_image_pipeline.cpp.o"
+  "CMakeFiles/adaptive_image_pipeline.dir/adaptive_image_pipeline.cpp.o.d"
+  "adaptive_image_pipeline"
+  "adaptive_image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwicap_fallback.dir/hwicap_fallback.cpp.o"
+  "CMakeFiles/hwicap_fallback.dir/hwicap_fallback.cpp.o.d"
+  "hwicap_fallback"
+  "hwicap_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwicap_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hwicap_fallback.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hwicap_fallback.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rp_scheduler.dir/multi_rp_scheduler.cpp.o"
+  "CMakeFiles/multi_rp_scheduler.dir/multi_rp_scheduler.cpp.o.d"
+  "multi_rp_scheduler"
+  "multi_rp_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rp_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_adaptive_system.dir/resilient_adaptive_system.cpp.o"
+  "CMakeFiles/resilient_adaptive_system.dir/resilient_adaptive_system.cpp.o.d"
+  "resilient_adaptive_system"
+  "resilient_adaptive_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_adaptive_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

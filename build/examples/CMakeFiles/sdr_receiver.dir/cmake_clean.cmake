@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_receiver.dir/sdr_receiver.cpp.o"
+  "CMakeFiles/sdr_receiver.dir/sdr_receiver.cpp.o.d"
+  "sdr_receiver"
+  "sdr_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("axi")
+subdirs("mem")
+subdirs("irq")
+subdirs("storage")
+subdirs("fabric")
+subdirs("bitstream")
+subdirs("icap")
+subdirs("cpu")
+subdirs("rvcap")
+subdirs("hwicap")
+subdirs("accel")
+subdirs("resources")
+subdirs("soa")
+subdirs("driver")
+subdirs("soc")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/filters.cpp" "src/accel/CMakeFiles/rvcap_accel.dir/filters.cpp.o" "gcc" "src/accel/CMakeFiles/rvcap_accel.dir/filters.cpp.o.d"
+  "/root/repo/src/accel/fir_filter.cpp" "src/accel/CMakeFiles/rvcap_accel.dir/fir_filter.cpp.o" "gcc" "src/accel/CMakeFiles/rvcap_accel.dir/fir_filter.cpp.o.d"
+  "/root/repo/src/accel/rm_slot.cpp" "src/accel/CMakeFiles/rvcap_accel.dir/rm_slot.cpp.o" "gcc" "src/accel/CMakeFiles/rvcap_accel.dir/rm_slot.cpp.o.d"
+  "/root/repo/src/accel/stream_cipher.cpp" "src/accel/CMakeFiles/rvcap_accel.dir/stream_cipher.cpp.o" "gcc" "src/accel/CMakeFiles/rvcap_accel.dir/stream_cipher.cpp.o.d"
+  "/root/repo/src/accel/stream_filter.cpp" "src/accel/CMakeFiles/rvcap_accel.dir/stream_filter.cpp.o" "gcc" "src/accel/CMakeFiles/rvcap_accel.dir/stream_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axi/CMakeFiles/rvcap_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rvcap_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvcap/CMakeFiles/rvcap_rvcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/irq/CMakeFiles/rvcap_irq.dir/DependInfo.cmake"
+  "/root/repo/build/src/icap/CMakeFiles/rvcap_icap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/rvcap_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

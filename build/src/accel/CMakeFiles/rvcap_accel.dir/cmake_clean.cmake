@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_accel.dir/filters.cpp.o"
+  "CMakeFiles/rvcap_accel.dir/filters.cpp.o.d"
+  "CMakeFiles/rvcap_accel.dir/fir_filter.cpp.o"
+  "CMakeFiles/rvcap_accel.dir/fir_filter.cpp.o.d"
+  "CMakeFiles/rvcap_accel.dir/rm_slot.cpp.o"
+  "CMakeFiles/rvcap_accel.dir/rm_slot.cpp.o.d"
+  "CMakeFiles/rvcap_accel.dir/stream_cipher.cpp.o"
+  "CMakeFiles/rvcap_accel.dir/stream_cipher.cpp.o.d"
+  "CMakeFiles/rvcap_accel.dir/stream_filter.cpp.o"
+  "CMakeFiles/rvcap_accel.dir/stream_filter.cpp.o.d"
+  "librvcap_accel.a"
+  "librvcap_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/crossbar.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/crossbar.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/crossbar.cpp.o.d"
+  "/root/repo/src/axi/isolator.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/isolator.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/isolator.cpp.o.d"
+  "/root/repo/src/axi/lite_bridge.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/lite_bridge.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/lite_bridge.cpp.o.d"
+  "/root/repo/src/axi/lite_bus.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/lite_bus.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/lite_bus.cpp.o.d"
+  "/root/repo/src/axi/lite_slave.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/lite_slave.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/lite_slave.cpp.o.d"
+  "/root/repo/src/axi/stream_switch.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/stream_switch.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/stream_switch.cpp.o.d"
+  "/root/repo/src/axi/width_converter.cpp" "src/axi/CMakeFiles/rvcap_axi.dir/width_converter.cpp.o" "gcc" "src/axi/CMakeFiles/rvcap_axi.dir/width_converter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rvcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

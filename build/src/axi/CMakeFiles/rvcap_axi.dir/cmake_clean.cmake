@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_axi.dir/crossbar.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/crossbar.cpp.o.d"
+  "CMakeFiles/rvcap_axi.dir/isolator.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/isolator.cpp.o.d"
+  "CMakeFiles/rvcap_axi.dir/lite_bridge.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/lite_bridge.cpp.o.d"
+  "CMakeFiles/rvcap_axi.dir/lite_bus.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/lite_bus.cpp.o.d"
+  "CMakeFiles/rvcap_axi.dir/lite_slave.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/lite_slave.cpp.o.d"
+  "CMakeFiles/rvcap_axi.dir/stream_switch.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/stream_switch.cpp.o.d"
+  "CMakeFiles/rvcap_axi.dir/width_converter.cpp.o"
+  "CMakeFiles/rvcap_axi.dir/width_converter.cpp.o.d"
+  "librvcap_axi.a"
+  "librvcap_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/compress.cpp" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/compress.cpp.o" "gcc" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/compress.cpp.o.d"
+  "/root/repo/src/bitstream/generator.cpp" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/generator.cpp.o" "gcc" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/generator.cpp.o.d"
+  "/root/repo/src/bitstream/parser.cpp" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/parser.cpp.o" "gcc" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/parser.cpp.o.d"
+  "/root/repo/src/bitstream/readback.cpp" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/readback.cpp.o" "gcc" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/readback.cpp.o.d"
+  "/root/repo/src/bitstream/relocate.cpp" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/relocate.cpp.o" "gcc" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/relocate.cpp.o.d"
+  "/root/repo/src/bitstream/writer.cpp" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/writer.cpp.o" "gcc" "src/bitstream/CMakeFiles/rvcap_bitstream.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/rvcap_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

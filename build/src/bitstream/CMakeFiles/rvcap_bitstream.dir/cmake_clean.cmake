@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_bitstream.dir/compress.cpp.o"
+  "CMakeFiles/rvcap_bitstream.dir/compress.cpp.o.d"
+  "CMakeFiles/rvcap_bitstream.dir/generator.cpp.o"
+  "CMakeFiles/rvcap_bitstream.dir/generator.cpp.o.d"
+  "CMakeFiles/rvcap_bitstream.dir/parser.cpp.o"
+  "CMakeFiles/rvcap_bitstream.dir/parser.cpp.o.d"
+  "CMakeFiles/rvcap_bitstream.dir/readback.cpp.o"
+  "CMakeFiles/rvcap_bitstream.dir/readback.cpp.o.d"
+  "CMakeFiles/rvcap_bitstream.dir/relocate.cpp.o"
+  "CMakeFiles/rvcap_bitstream.dir/relocate.cpp.o.d"
+  "CMakeFiles/rvcap_bitstream.dir/writer.cpp.o"
+  "CMakeFiles/rvcap_bitstream.dir/writer.cpp.o.d"
+  "librvcap_bitstream.a"
+  "librvcap_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

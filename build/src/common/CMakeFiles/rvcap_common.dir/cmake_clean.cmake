@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_common.dir/hexdump.cpp.o"
+  "CMakeFiles/rvcap_common.dir/hexdump.cpp.o.d"
+  "CMakeFiles/rvcap_common.dir/log.cpp.o"
+  "CMakeFiles/rvcap_common.dir/log.cpp.o.d"
+  "librvcap_common.a"
+  "librvcap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/rvcap_cpu.dir/cpu.cpp.o.d"
+  "librvcap_cpu.a"
+  "librvcap_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/boot_table.cpp" "src/driver/CMakeFiles/rvcap_driver.dir/boot_table.cpp.o" "gcc" "src/driver/CMakeFiles/rvcap_driver.dir/boot_table.cpp.o.d"
+  "/root/repo/src/driver/dpr_manager.cpp" "src/driver/CMakeFiles/rvcap_driver.dir/dpr_manager.cpp.o" "gcc" "src/driver/CMakeFiles/rvcap_driver.dir/dpr_manager.cpp.o.d"
+  "/root/repo/src/driver/hwicap_driver.cpp" "src/driver/CMakeFiles/rvcap_driver.dir/hwicap_driver.cpp.o" "gcc" "src/driver/CMakeFiles/rvcap_driver.dir/hwicap_driver.cpp.o.d"
+  "/root/repo/src/driver/rvcap_driver.cpp" "src/driver/CMakeFiles/rvcap_driver.dir/rvcap_driver.cpp.o" "gcc" "src/driver/CMakeFiles/rvcap_driver.dir/rvcap_driver.cpp.o.d"
+  "/root/repo/src/driver/scrubber.cpp" "src/driver/CMakeFiles/rvcap_driver.dir/scrubber.cpp.o" "gcc" "src/driver/CMakeFiles/rvcap_driver.dir/scrubber.cpp.o.d"
+  "/root/repo/src/driver/spi_sd.cpp" "src/driver/CMakeFiles/rvcap_driver.dir/spi_sd.cpp.o" "gcc" "src/driver/CMakeFiles/rvcap_driver.dir/spi_sd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/rvcap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvcap/CMakeFiles/rvcap_rvcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwicap/CMakeFiles/rvcap_hwicap.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rvcap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/rvcap_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rvcap_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/irq/CMakeFiles/rvcap_irq.dir/DependInfo.cmake"
+  "/root/repo/build/src/icap/CMakeFiles/rvcap_icap.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/rvcap_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rvcap_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rvcap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/rvcap_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_driver.dir/boot_table.cpp.o"
+  "CMakeFiles/rvcap_driver.dir/boot_table.cpp.o.d"
+  "CMakeFiles/rvcap_driver.dir/dpr_manager.cpp.o"
+  "CMakeFiles/rvcap_driver.dir/dpr_manager.cpp.o.d"
+  "CMakeFiles/rvcap_driver.dir/hwicap_driver.cpp.o"
+  "CMakeFiles/rvcap_driver.dir/hwicap_driver.cpp.o.d"
+  "CMakeFiles/rvcap_driver.dir/rvcap_driver.cpp.o"
+  "CMakeFiles/rvcap_driver.dir/rvcap_driver.cpp.o.d"
+  "CMakeFiles/rvcap_driver.dir/scrubber.cpp.o"
+  "CMakeFiles/rvcap_driver.dir/scrubber.cpp.o.d"
+  "CMakeFiles/rvcap_driver.dir/spi_sd.cpp.o"
+  "CMakeFiles/rvcap_driver.dir/spi_sd.cpp.o.d"
+  "librvcap_driver.a"
+  "librvcap_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/config_memory.cpp" "src/fabric/CMakeFiles/rvcap_fabric.dir/config_memory.cpp.o" "gcc" "src/fabric/CMakeFiles/rvcap_fabric.dir/config_memory.cpp.o.d"
+  "/root/repo/src/fabric/floorplan.cpp" "src/fabric/CMakeFiles/rvcap_fabric.dir/floorplan.cpp.o" "gcc" "src/fabric/CMakeFiles/rvcap_fabric.dir/floorplan.cpp.o.d"
+  "/root/repo/src/fabric/geometry.cpp" "src/fabric/CMakeFiles/rvcap_fabric.dir/geometry.cpp.o" "gcc" "src/fabric/CMakeFiles/rvcap_fabric.dir/geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

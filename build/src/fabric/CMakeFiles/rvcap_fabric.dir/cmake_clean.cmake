@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_fabric.dir/config_memory.cpp.o"
+  "CMakeFiles/rvcap_fabric.dir/config_memory.cpp.o.d"
+  "CMakeFiles/rvcap_fabric.dir/floorplan.cpp.o"
+  "CMakeFiles/rvcap_fabric.dir/floorplan.cpp.o.d"
+  "CMakeFiles/rvcap_fabric.dir/geometry.cpp.o"
+  "CMakeFiles/rvcap_fabric.dir/geometry.cpp.o.d"
+  "librvcap_fabric.a"
+  "librvcap_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwicap/hwicap.cpp" "src/hwicap/CMakeFiles/rvcap_hwicap.dir/hwicap.cpp.o" "gcc" "src/hwicap/CMakeFiles/rvcap_hwicap.dir/hwicap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axi/CMakeFiles/rvcap_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/icap/CMakeFiles/rvcap_icap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/rvcap_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rvcap_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_hwicap.dir/hwicap.cpp.o"
+  "CMakeFiles/rvcap_hwicap.dir/hwicap.cpp.o.d"
+  "librvcap_hwicap.a"
+  "librvcap_hwicap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_hwicap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

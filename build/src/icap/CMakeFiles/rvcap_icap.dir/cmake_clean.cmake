@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_icap.dir/icap.cpp.o"
+  "CMakeFiles/rvcap_icap.dir/icap.cpp.o.d"
+  "librvcap_icap.a"
+  "librvcap_icap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_icap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rvcap_icap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_irq.dir/clint.cpp.o"
+  "CMakeFiles/rvcap_irq.dir/clint.cpp.o.d"
+  "CMakeFiles/rvcap_irq.dir/plic.cpp.o"
+  "CMakeFiles/rvcap_irq.dir/plic.cpp.o.d"
+  "librvcap_irq.a"
+  "librvcap_irq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_irq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_mem.dir/ddr.cpp.o"
+  "CMakeFiles/rvcap_mem.dir/ddr.cpp.o.d"
+  "CMakeFiles/rvcap_mem.dir/sram.cpp.o"
+  "CMakeFiles/rvcap_mem.dir/sram.cpp.o.d"
+  "librvcap_mem.a"
+  "librvcap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_resources.dir/database.cpp.o"
+  "CMakeFiles/rvcap_resources.dir/database.cpp.o.d"
+  "librvcap_resources.a"
+  "librvcap_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

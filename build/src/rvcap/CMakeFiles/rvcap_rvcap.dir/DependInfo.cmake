@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rvcap/axis2icap.cpp" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/axis2icap.cpp.o" "gcc" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/axis2icap.cpp.o.d"
+  "/root/repo/src/rvcap/controller.cpp" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/controller.cpp.o" "gcc" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/controller.cpp.o.d"
+  "/root/repo/src/rvcap/decompressor.cpp" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/decompressor.cpp.o" "gcc" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/decompressor.cpp.o.d"
+  "/root/repo/src/rvcap/dma.cpp" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/dma.cpp.o" "gcc" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/dma.cpp.o.d"
+  "/root/repo/src/rvcap/icap2axis.cpp" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/icap2axis.cpp.o" "gcc" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/icap2axis.cpp.o.d"
+  "/root/repo/src/rvcap/rp_control.cpp" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/rp_control.cpp.o" "gcc" "src/rvcap/CMakeFiles/rvcap_rvcap.dir/rp_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axi/CMakeFiles/rvcap_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/irq/CMakeFiles/rvcap_irq.dir/DependInfo.cmake"
+  "/root/repo/build/src/icap/CMakeFiles/rvcap_icap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/rvcap_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rvcap_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_rvcap.dir/axis2icap.cpp.o"
+  "CMakeFiles/rvcap_rvcap.dir/axis2icap.cpp.o.d"
+  "CMakeFiles/rvcap_rvcap.dir/controller.cpp.o"
+  "CMakeFiles/rvcap_rvcap.dir/controller.cpp.o.d"
+  "CMakeFiles/rvcap_rvcap.dir/decompressor.cpp.o"
+  "CMakeFiles/rvcap_rvcap.dir/decompressor.cpp.o.d"
+  "CMakeFiles/rvcap_rvcap.dir/dma.cpp.o"
+  "CMakeFiles/rvcap_rvcap.dir/dma.cpp.o.d"
+  "CMakeFiles/rvcap_rvcap.dir/icap2axis.cpp.o"
+  "CMakeFiles/rvcap_rvcap.dir/icap2axis.cpp.o.d"
+  "CMakeFiles/rvcap_rvcap.dir/rp_control.cpp.o"
+  "CMakeFiles/rvcap_rvcap.dir/rp_control.cpp.o.d"
+  "librvcap_rvcap.a"
+  "librvcap_rvcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_rvcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

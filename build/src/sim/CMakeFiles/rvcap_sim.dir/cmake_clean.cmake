@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rvcap_sim.dir/simulator.cpp.o.d"
+  "librvcap_sim.a"
+  "librvcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

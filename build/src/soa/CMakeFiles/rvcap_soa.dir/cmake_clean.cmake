@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_soa.dir/controllers.cpp.o"
+  "CMakeFiles/rvcap_soa.dir/controllers.cpp.o.d"
+  "librvcap_soa.a"
+  "librvcap_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

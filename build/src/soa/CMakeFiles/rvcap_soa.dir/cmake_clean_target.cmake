@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librvcap_soa.a"
+)

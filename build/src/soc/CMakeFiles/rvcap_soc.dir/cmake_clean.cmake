@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_soc.dir/ariane_soc.cpp.o"
+  "CMakeFiles/rvcap_soc.dir/ariane_soc.cpp.o.d"
+  "librvcap_soc.a"
+  "librvcap_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

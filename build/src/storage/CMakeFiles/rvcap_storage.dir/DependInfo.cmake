@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/fat32.cpp" "src/storage/CMakeFiles/rvcap_storage.dir/fat32.cpp.o" "gcc" "src/storage/CMakeFiles/rvcap_storage.dir/fat32.cpp.o.d"
+  "/root/repo/src/storage/sd_card.cpp" "src/storage/CMakeFiles/rvcap_storage.dir/sd_card.cpp.o" "gcc" "src/storage/CMakeFiles/rvcap_storage.dir/sd_card.cpp.o.d"
+  "/root/repo/src/storage/spi.cpp" "src/storage/CMakeFiles/rvcap_storage.dir/spi.cpp.o" "gcc" "src/storage/CMakeFiles/rvcap_storage.dir/spi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axi/CMakeFiles/rvcap_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap_storage.dir/fat32.cpp.o"
+  "CMakeFiles/rvcap_storage.dir/fat32.cpp.o.d"
+  "CMakeFiles/rvcap_storage.dir/sd_card.cpp.o"
+  "CMakeFiles/rvcap_storage.dir/sd_card.cpp.o.d"
+  "CMakeFiles/rvcap_storage.dir/spi.cpp.o"
+  "CMakeFiles/rvcap_storage.dir/spi.cpp.o.d"
+  "librvcap_storage.a"
+  "librvcap_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boot_table.dir/test_boot_table.cpp.o"
+  "CMakeFiles/test_boot_table.dir/test_boot_table.cpp.o.d"
+  "test_boot_table"
+  "test_boot_table.pdb"
+  "test_boot_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boot_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

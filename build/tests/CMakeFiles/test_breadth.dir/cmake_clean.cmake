@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_breadth.dir/test_breadth.cpp.o"
+  "CMakeFiles/test_breadth.dir/test_breadth.cpp.o.d"
+  "test_breadth"
+  "test_breadth.pdb"
+  "test_breadth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_breadth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_converters.dir/test_converters.cpp.o"
+  "CMakeFiles/test_converters.dir/test_converters.cpp.o.d"
+  "test_converters"
+  "test_converters.pdb"
+  "test_converters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_converters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

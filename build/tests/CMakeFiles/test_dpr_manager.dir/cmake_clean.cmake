@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpr_manager.dir/test_dpr_manager.cpp.o"
+  "CMakeFiles/test_dpr_manager.dir/test_dpr_manager.cpp.o.d"
+  "test_dpr_manager"
+  "test_dpr_manager.pdb"
+  "test_dpr_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpr_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icap_fuzz.dir/test_icap_fuzz.cpp.o"
+  "CMakeFiles/test_icap_fuzz.dir/test_icap_fuzz.cpp.o.d"
+  "test_icap_fuzz"
+  "test_icap_fuzz.pdb"
+  "test_icap_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icap_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portability.dir/test_portability.cpp.o"
+  "CMakeFiles/test_portability.dir/test_portability.cpp.o.d"
+  "test_portability"
+  "test_portability.pdb"
+  "test_portability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rvcap.dir/test_rvcap.cpp.o"
+  "CMakeFiles/test_rvcap.dir/test_rvcap.cpp.o.d"
+  "test_rvcap"
+  "test_rvcap.pdb"
+  "test_rvcap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rvcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

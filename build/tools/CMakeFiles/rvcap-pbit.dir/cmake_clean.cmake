@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvcap-pbit.dir/rvcap_pbit.cpp.o"
+  "CMakeFiles/rvcap-pbit.dir/rvcap_pbit.cpp.o.d"
+  "rvcap-pbit"
+  "rvcap-pbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvcap-pbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

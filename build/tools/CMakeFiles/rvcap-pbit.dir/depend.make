@@ -1,0 +1,2 @@
+# Empty dependencies file for rvcap-pbit.
+# This may be replaced when dependencies are built.
