@@ -126,8 +126,9 @@ void AxiCrossbar::return_r() {
     AxiPort* mgr = managers_[route.manager];
     if (!mgr->r.can_push()) continue;
     mgr->r.push(*r);
+    const bool last = r->last;  // r points into the FIFO; pop() frees it
     subs_[s]->r.pop();
-    if (--route.beats_left == 0 || r->last) read_routes_[s].pop_front();
+    if (--route.beats_left == 0 || last) read_routes_[s].pop_front();
   }
 }
 

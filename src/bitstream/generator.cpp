@@ -58,4 +58,32 @@ std::vector<u8> generate_partial_bitstream(const fabric::DeviceGeometry& dev,
   return bytes;
 }
 
+std::vector<u8> generate_blank_bitstream(const fabric::DeviceGeometry& dev,
+                                         const fabric::Partition& part) {
+  const auto& cols = part.columns();
+
+  std::vector<BitstreamWriter::Section> sections;
+  usize i = 0;
+  while (i < cols.size()) {
+    usize j = i + 1;
+    while (j < cols.size() && cols[j].row == cols[j - 1].row &&
+           cols[j].column == cols[j - 1].column + 1) {
+      ++j;
+    }
+    BitstreamWriter::Section sec;
+    sec.start = fabric::FrameAddr{cols[i].row, cols[i].column, 0};
+    u32 frames = 0;
+    for (usize c = i; c < j; ++c) frames += dev.frames_in_column(cols[c].column);
+    sec.frame_words.assign(usize{frames} * fabric::kFrameWords, 0);
+    sections.push_back(std::move(sec));
+    i = j;
+  }
+
+  const BitstreamWriter writer;
+  const std::vector<u32> words = writer.build(sections);
+  std::vector<u8> bytes = BitstreamWriter::to_bytes(words);
+  assert(bytes.size() == part.pbit_bytes(dev));
+  return bytes;
+}
+
 }  // namespace rvcap::bitstream

@@ -36,4 +36,10 @@ std::vector<u8> generate_partial_bitstream(
 /// The word a generated bitstream stores at (frame_index, word_index).
 u32 payload_word(u32 rm_id, u32 frame_index, u32 word_index, FrameFill fill);
 
+/// Generate a blanking bitstream for `part`: every frame written as
+/// zeros, no manifest. Activating it wipes whatever configuration the
+/// partition held (the recovery path's "known safe" state).
+std::vector<u8> generate_blank_bitstream(const fabric::DeviceGeometry& dev,
+                                         const fabric::Partition& part);
+
 }  // namespace rvcap::bitstream

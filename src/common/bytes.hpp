@@ -61,4 +61,18 @@ inline constexpr u64 bits64(u64 v, unsigned lo, unsigned width) {
   return (v >> lo) & ((width >= 64) ? ~u64{0} : ((u64{1} << width) - 1));
 }
 
+/// CRC-32 (IEEE 802.3, reflected) — integrity check for staged
+/// bitstream images; incremental via the `crc` parameter (pass the
+/// previous return value to continue, default for a fresh run).
+inline constexpr u32 crc32(std::span<const u8> data, u32 crc = 0) {
+  crc = ~crc;
+  for (const u8 byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
 }  // namespace rvcap

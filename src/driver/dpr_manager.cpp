@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "bitstream/generator.hpp"
+#include "common/bytes.hpp"
 #include "common/log.hpp"
 
 namespace rvcap::driver {
+
+std::string_view to_string(FailStage s) {
+  switch (s) {
+    case FailStage::kStaging: return "staging";
+    case FailStage::kStagedCrc: return "staged_crc";
+    case FailStage::kDma: return "dma";
+    case FailStage::kIcap: return "icap";
+    case FailStage::kActivate: return "activate";
+    case FailStage::kScrub: return "scrub";
+    case FailStage::kBlank: return "blank";
+    case FailStage::kRecovered: return "recovered";
+    case FailStage::kExhausted: return "exhausted";
+  }
+  return "unknown";
+}
 
 DprManager::DprManager(RvCapDriver& drv, fabric::ConfigMemory& cfg,
                        usize rp_handle, storage::Fat32Volume* volume,
@@ -37,6 +54,7 @@ Status DprManager::register_staged(std::string name, u32 rm_id, Addr addr,
   m.rm_id = rm_id;
   m.staged_addr = addr;
   m.pbit_size = bytes;
+  m.crc32 = staged_image_crc(addr, bytes);
   m.pinned = true;
   modules_.push_back(std::move(m));
   return Status::kOk;
@@ -60,6 +78,29 @@ u32 DprManager::pick_victim_slot() {
     }
   }
   return best;
+}
+
+void DprManager::unstage(Module& m) {
+  if (!m.slot.has_value()) return;
+  slot_owner_[*m.slot].reset();
+  m.slot.reset();
+}
+
+u32 DprManager::staged_image_crc(Addr addr, u32 bytes) {
+  // Software CRC over the DDR image: cached burst reads plus roughly
+  // one ALU bundle per word, so the check has a realistic cost.
+  cpu::CpuContext& cpu = drv_.cpu_context();
+  std::vector<u8> chunk(4096);
+  u32 crc = 0;
+  u32 done = 0;
+  while (done < bytes) {
+    const u32 n = std::min<u32>(static_cast<u32>(chunk.size()), bytes - done);
+    cpu.read_buffer(addr + done, std::span(chunk).first(n));
+    crc = crc32(std::span<const u8>(chunk).first(n), crc);
+    cpu.spend_instructions(n / 4);
+    done += n;
+  }
+  return crc;
 }
 
 Status DprManager::ensure_staged(Module& m) {
@@ -90,10 +131,25 @@ Status DprManager::ensure_staged(Module& m) {
   }
   m.staged_addr = rm.start_address;
   m.pbit_size = rm.pbit_size;
+  m.crc32 = rm.crc32;
   m.slot = slot;
   slot_owner_[slot] = static_cast<usize>(&m - modules_.data());
   slot_last_use_[slot] = ++use_clock_;
   ++stats_.staging_loads;
+
+  // Fault hook: a bit flip landing in the staged image after the load
+  // CRC was computed (DDR upset / bus corruption). The staged-CRC
+  // verify in activate() is what catches it.
+  if (fault_ != nullptr && m.pbit_size > 0 &&
+      fault_->should_fire(sim::fault_sites::kStageBitFlip)) {
+    const u64 bit = fault_->value(sim::fault_sites::kStageBitFlip,
+                                  u64{m.pbit_size} * 8);
+    cpu::CpuContext& cpu = drv_.cpu_context();
+    u8 byte = 0;
+    cpu.read_buffer(m.staged_addr + bit / 8, std::span(&byte, 1));
+    byte ^= static_cast<u8>(1u << (bit % 8));
+    cpu.write_buffer(m.staged_addr + bit / 8, std::span(&byte, 1));
+  }
   return Status::kOk;
 }
 
@@ -103,26 +159,175 @@ Status DprManager::prefetch(std::string_view name) {
   return ensure_staged(*m);
 }
 
+void DprManager::record(FailStage stage, Status status, u32 rm_id,
+                        u32 attempt) {
+  JournalEntry& e = journal_[journal_events_ % kJournalCapacity];
+  e.mtime = drv_.mtime();
+  e.stage = stage;
+  e.status = status;
+  e.rm_id = rm_id;
+  e.attempt = attempt;
+  ++journal_events_;
+}
+
+std::vector<DprManager::JournalEntry> DprManager::journal() const {
+  std::vector<JournalEntry> out;
+  const u64 n = std::min<u64>(journal_events_, kJournalCapacity);
+  out.reserve(n);
+  for (u64 i = journal_events_ - n; i < journal_events_; ++i) {
+    out.push_back(journal_[i % kJournalCapacity]);
+  }
+  return out;
+}
+
+Status DprManager::blank_partition(DmaMode mode, u32 attempt) {
+  const auto blank = bitstream::generate_blank_bitstream(
+      cfg_.device(), cfg_.partition(rp_handle_));
+  drv_.cpu_context().write_buffer(scratch_addr(), blank);
+  ReconfigModule rm{"<blank>", 0, scratch_addr(),
+                    static_cast<u32>(blank.size())};
+  const Status st =
+      drv_.init_reconfig_process(rm, mode, /*hold_decoupled=*/true);
+  ++stats_.blank_passes;
+  if (!ok(st)) {
+    record(FailStage::kBlank, st, 0, attempt);
+    // Even the blanking pass failed: scrap whatever the transfer left
+    // in the datapath so the next attempt starts clean.
+    drv_.cleanup_after_failure();
+  }
+  return st;
+}
+
+void DprManager::recover_datapath(DmaMode mode, u32 attempt) {
+  // Recovery state machine: DMA reset + settle + datapath abort, then
+  // (policy permitting) overwrite the partially-written partition with
+  // a blank configuration. The RP stays decoupled throughout.
+  drv_.cleanup_after_failure();
+  if (policy_.blank_on_failure) blank_partition(mode, attempt);
+}
+
 Status DprManager::activate(std::string_view name, DmaMode mode) {
   ++stats_.activation_requests;
   Module* m = find(name);
   if (m == nullptr) return Status::kNotFound;
 
-  const auto st = cfg_.partition_state(rp_handle_);
-  if (st.loaded && st.rm_id == m->rm_id) {
+  const auto st0 = cfg_.partition_state(rp_handle_);
+  if (st0.loaded && st0.rm_id == m->rm_id) {
     ++stats_.already_active_hits;
     return Status::kOk;
   }
-  if (auto s = ensure_staged(*m); !ok(s)) return s;
 
-  ReconfigModule rm{m->name, m->rm_id, m->staged_addr, m->pbit_size};
-  if (auto s = drv_.init_reconfig_process(rm, mode); !ok(s)) return s;
-  ++stats_.reconfigurations;
-  stats_.total_reconfig_ticks += drv_.last_timing().reconfig_ticks;
+  // Safe-DPR activation: isolate the RP for the whole attempt sequence
+  // and recouple only once a verified-good configuration is active.
+  drv_.decouple_accel(true);
+  Status last = Status::kInternal;
+  bool failed_once = false;
+  const u32 attempts = std::max<u32>(1, policy_.max_attempts);
+  for (u32 attempt = 1; attempt <= attempts; ++attempt) {
+    if (auto s = ensure_staged(*m); !ok(s)) {
+      last = s;
+      ++stats_.staging_failures;
+      failed_once = true;
+      record(FailStage::kStaging, s, m->rm_id, attempt);
+      continue;
+    }
 
-  const auto after = cfg_.partition_state(rp_handle_);
-  return (after.loaded && after.rm_id == m->rm_id) ? Status::kOk
-                                                   : Status::kIoError;
+    if (policy_.verify_staged_crc &&
+        staged_image_crc(m->staged_addr, m->pbit_size) != m->crc32) {
+      last = Status::kCrcError;
+      ++stats_.staged_crc_failures;
+      failed_once = true;
+      record(FailStage::kStagedCrc, last, m->rm_id, attempt);
+      // Drop the corrupt image so the next attempt reloads from SD.
+      // Pinned modules have no backing file — their retries exhaust.
+      unstage(*m);
+      continue;
+    }
+
+    const bool use_fallback =
+        policy_.hwicap_fallback && fallback_ != nullptr &&
+        consecutive_dma_failures_ >= policy_.fallback_after_failures;
+    ReconfigModule rm{m->name, m->rm_id, m->staged_addr, m->pbit_size,
+                     m->crc32};
+    Status s;
+    if (use_fallback) {
+      s = fallback_->init_reconfig_process(rm, /*hold_decoupled=*/true);
+    } else {
+      s = drv_.init_reconfig_process(rm, mode, /*hold_decoupled=*/true);
+    }
+    if (!ok(s)) {
+      last = s;
+      failed_once = true;
+      if (use_fallback) {
+        ++stats_.config_failures;
+      } else {
+        ++consecutive_dma_failures_;
+        if (s == Status::kTimeout) {
+          ++stats_.dma_timeouts;
+        } else {
+          ++stats_.dma_errors;
+        }
+      }
+      record(use_fallback ? FailStage::kIcap : FailStage::kDma, s,
+             m->rm_id, attempt);
+      recover_datapath(mode, attempt);
+      continue;
+    }
+
+    const auto after = cfg_.partition_state(rp_handle_);
+    if (!(after.loaded && after.rm_id == m->rm_id)) {
+      last = Status::kIoError;
+      failed_once = true;
+      ++stats_.config_failures;
+      if (!use_fallback) ++consecutive_dma_failures_;
+      record(FailStage::kActivate, last, m->rm_id, attempt);
+      recover_datapath(mode, attempt);
+      continue;
+    }
+
+    // Post-recovery verification: read the partition back and check it
+    // is stable BEFORE the RP rejoins the system. The scrubber reads
+    // through the RV-CAP DMA, so it is skipped on fallback transfers —
+    // those run precisely because the DMA path is known-bad, and a
+    // readback over it would wedge the recovery it is meant to verify.
+    if (failed_once && !use_fallback && policy_.scrub_after_recovery &&
+        scrubber_ != nullptr && scrub_part_ != nullptr) {
+      ++stats_.scrub_verifies;
+      scrubber_->set_hold_decoupled(true);
+      Status ss = scrubber_->snapshot(*scrub_part_);
+      if (ok(ss)) ss = scrubber_->scrub(*scrub_part_);
+      scrubber_->set_hold_decoupled(false);
+      if (!ok(ss)) {
+        last = ss;
+        ++stats_.scrub_failures;
+        record(FailStage::kScrub, ss, m->rm_id, attempt);
+        recover_datapath(mode, attempt);
+        continue;
+      }
+    }
+
+    // Verified good: rejoin the RP and account the transfer.
+    drv_.decouple_accel(false);
+    ++stats_.reconfigurations;
+    if (use_fallback) {
+      ++stats_.fallback_reconfigs;
+      stats_.total_reconfig_ticks += fallback_->last_timing().reconfig_ticks;
+    } else {
+      consecutive_dma_failures_ = 0;
+      stats_.total_reconfig_ticks += drv_.last_timing().reconfig_ticks;
+    }
+    if (failed_once) {
+      ++stats_.recoveries;
+      record(FailStage::kRecovered, Status::kOk, m->rm_id, attempt);
+    }
+    return Status::kOk;
+  }
+
+  // Retry budget spent. The RP is left decoupled over a blanked
+  // partition — never coupled to a partial or corrupt configuration.
+  ++stats_.retries_exhausted;
+  record(FailStage::kExhausted, last, m->rm_id, attempts);
+  return last;
 }
 
 std::string DprManager::active_module() const {

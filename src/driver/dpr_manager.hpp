@@ -6,16 +6,43 @@
 // bitstreams staged in a DDR slot cache (loading from the FAT32 volume
 // on a miss, LRU-evicting when full), skips reconfiguration when the
 // requested module is already active, and accounts every cost.
+//
+// Self-healing activation (safe-DPR): activate() isolates the RP before
+// touching the ICAP and only recouples it once a verified-good
+// configuration is active. Each failed attempt runs the recovery state
+// machine — DMA reset, datapath abort, partition blank — and retries up
+// to a bounded budget, optionally degrading to the AXI_HWICAP fallback
+// path; exhausted retries leave the RP decoupled over a blanked
+// partition. Every event lands in a fixed-size failure journal.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "driver/hwicap_driver.hpp"
 #include "driver/rvcap_driver.hpp"
+#include "driver/scrubber.hpp"
 #include "fabric/config_memory.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace rvcap::driver {
+
+/// Recovery pipeline stage a journal entry refers to.
+enum class FailStage : u8 {
+  kStaging,    // SD -> DDR load failed
+  kStagedCrc,  // staged image failed its CRC-32 check
+  kDma,        // RV-CAP DMA transfer errored or timed out
+  kIcap,       // HWICAP fallback transfer failed
+  kActivate,   // transfer "succeeded" but the partition did not activate
+  kScrub,      // post-recovery readback verify failed
+  kBlank,      // partition blanking pass failed
+  kRecovered,  // activation succeeded after at least one failure
+  kExhausted,  // retry budget spent; RP left decoupled and blanked
+};
+
+std::string_view to_string(FailStage s);
 
 class DprManager {
  public:
@@ -25,6 +52,27 @@ class DprManager {
     u32 num_slots = 4;
   };
 
+  /// Knobs of the self-healing activation flow.
+  struct RecoveryPolicy {
+    u32 max_attempts = 3;          // total tries per activate() call
+    bool verify_staged_crc = true; // CRC the DDR image before the ICAP
+    bool hwicap_fallback = true;   // degrade to AXI_HWICAP when attached
+    u32 fallback_after_failures = 2;  // consecutive DMA-path failures
+    bool scrub_after_recovery = true; // readback-verify before recouple
+    bool blank_on_failure = true;  // blank the partition after a failure
+  };
+
+  /// One failure-journal record; the journal is a fixed ring of the
+  /// most recent kJournalCapacity events.
+  struct JournalEntry {
+    u64 mtime = 0;  // CLINT timestamp of the event
+    FailStage stage{};
+    Status status{};
+    u32 rm_id = 0;
+    u32 attempt = 0;
+  };
+  static constexpr usize kJournalCapacity = 32;
+
   struct Stats {
     u64 activation_requests = 0;
     u64 reconfigurations = 0;      // actual DPR transfers performed
@@ -33,6 +81,18 @@ class DprManager {
     u64 staging_loads = 0;         // SD -> DDR loads performed
     u64 evictions = 0;             // LRU slot reclaims
     u64 total_reconfig_ticks = 0;  // CLINT ticks spent in T_r
+    // ---- recovery pipeline counters ----
+    u64 staging_failures = 0;      // SD -> DDR load errors
+    u64 staged_crc_failures = 0;   // DDR image CRC mismatches
+    u64 dma_errors = 0;            // DMA transfer errors (SLVERR etc.)
+    u64 dma_timeouts = 0;          // DMA transfer timeouts (stalls)
+    u64 config_failures = 0;       // transfer ok but partition inactive
+    u64 scrub_failures = 0;        // post-recovery verify mismatches
+    u64 recoveries = 0;            // activations that needed a retry
+    u64 fallback_reconfigs = 0;    // transfers via the HWICAP path
+    u64 blank_passes = 0;          // partition blanking transfers
+    u64 retries_exhausted = 0;     // activations that gave up
+    u64 scrub_verifies = 0;        // post-recovery verify passes run
   };
 
   /// `volume` may be nullptr when every module is pre-staged.
@@ -45,18 +105,41 @@ class DprManager {
   /// Register a module backed by a bitstream file on the volume.
   Status register_module(std::string name, u32 rm_id,
                          std::string pbit_path);
-  /// Register a module whose bitstream is already staged in DDR.
+  /// Register a module whose bitstream is already staged in DDR. The
+  /// image is CRC'd now; that checksum is the golden reference the
+  /// recovery flow verifies against before every transfer.
   Status register_staged(std::string name, u32 rm_id, Addr addr, u32 bytes);
 
   /// Ensure the module's bitstream is staged (no reconfiguration).
   Status prefetch(std::string_view name);
 
   /// Make the module active in the partition; no-op when it already is.
+  /// Runs the self-healing flow under the current RecoveryPolicy.
   Status activate(std::string_view name,
                   DmaMode mode = DmaMode::kInterrupt);
 
   /// Name of the module currently active (empty when none/unknown).
   std::string active_module() const;
+
+  void set_policy(const RecoveryPolicy& p) { policy_ = p; }
+  const RecoveryPolicy& policy() const { return policy_; }
+
+  /// Degraded-mode transfer path used after repeated DMA failures.
+  void attach_fallback(HwIcapDriver* hwicap) { fallback_ = hwicap; }
+
+  /// Post-recovery verification service. `part` must outlive the
+  /// manager; it is the partition behind `rp_handle`.
+  void attach_scrubber(Scrubber* scrubber, const fabric::Partition* part) {
+    scrubber_ = scrubber;
+    scrub_part_ = part;
+  }
+
+  /// Staging-path fault hook (sim::fault_sites::kStageBitFlip).
+  void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
+
+  /// Journal entries, oldest first (at most kJournalCapacity retained).
+  std::vector<JournalEntry> journal() const;
+  u64 journal_events() const { return journal_events_; }
 
   const Stats& stats() const { return stats_; }
   double total_reconfig_us() const {
@@ -71,22 +154,41 @@ class DprManager {
     std::optional<u32> slot;     // staging slot index when resident
     Addr staged_addr = 0;
     u32 pbit_size = 0;
+    u32 crc32 = 0;               // golden CRC of the staged image
     bool pinned = false;         // pre-staged: never evicted
   };
 
   Module* find(std::string_view name);
   Status ensure_staged(Module& m);
   u32 pick_victim_slot();
+  void unstage(Module& m);
+  u32 staged_image_crc(Addr addr, u32 bytes);
+  /// Scratch DDR just past the slot cache, used for blank bitstreams.
+  Addr scratch_addr() const {
+    return config_.staging_base +
+           u64{config_.num_slots} * config_.slot_bytes;
+  }
+  Status blank_partition(DmaMode mode, u32 attempt);
+  void recover_datapath(DmaMode mode, u32 attempt);
+  void record(FailStage stage, Status status, u32 rm_id, u32 attempt);
 
   RvCapDriver& drv_;
   fabric::ConfigMemory& cfg_;
   usize rp_handle_;
   storage::Fat32Volume* volume_;
   Config config_;
+  RecoveryPolicy policy_;
+  HwIcapDriver* fallback_ = nullptr;
+  Scrubber* scrubber_ = nullptr;
+  const fabric::Partition* scrub_part_ = nullptr;
+  sim::FaultInjector* fault_ = nullptr;
   std::vector<Module> modules_;
   std::vector<std::optional<usize>> slot_owner_;  // module index per slot
   std::vector<u64> slot_last_use_;
   u64 use_clock_ = 0;
+  u32 consecutive_dma_failures_ = 0;
+  std::array<JournalEntry, kJournalCapacity> journal_{};
+  u64 journal_events_ = 0;
   Stats stats_;
 };
 

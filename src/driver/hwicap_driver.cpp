@@ -36,7 +36,7 @@ u32 HwIcapDriver::read_fifo_vacancy() {
 }
 
 Status HwIcapDriver::icap_done() {
-  for (int i = 0; i < 1'000'000; ++i) {
+  for (u32 i = 0; i < timeouts_.done_poll_iters; ++i) {
     if (cpu_.load32_uncached(base_ + HwIcap::kSr) & HwIcap::kSrDone) {
       return Status::kOk;
     }
@@ -116,7 +116,7 @@ Status HwIcapDriver::readback(const fabric::FrameAddr& start,
     for (u32 i = 0; i < chunk; ++i) {
       cpu_.spend_loop_overhead();
       bool ready = false;
-      for (int poll = 0; poll < 100'000; ++poll) {
+      for (u32 poll = 0; poll < timeouts_.rfo_poll_iters; ++poll) {
         if (cpu_.load32_uncached(base_ + HwIcap::kRfo) != 0) {
           ready = true;
           break;
@@ -136,12 +136,13 @@ Status HwIcapDriver::readback(const fabric::FrameAddr& start,
   return icap_done();
 }
 
-Status HwIcapDriver::init_reconfig_process(const ReconfigModule& m) {
+Status HwIcapDriver::init_reconfig_process(const ReconfigModule& m,
+                                           bool hold_decoupled) {
   const u64 t0 = timer_.read_mtime();
   decouple_accel(true);
   init_icap();
   const Status st = reconfigure_RP(m.start_address, m.pbit_size);
-  decouple_accel(false);
+  if (!hold_decoupled) decouple_accel(false);
   const u64 t1 = timer_.read_mtime();
   timing_.reconfig_ticks = t1 - t0;
   return st;

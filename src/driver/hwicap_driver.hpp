@@ -21,6 +21,16 @@ class HwIcapDriver {
     double reconfig_us() const { return TimerDriver::ticks_to_us(reconfig_ticks); }
   };
 
+  /// Poll bounds for the driver's blocking loops (defaults match the
+  /// historical hard-coded values; tests shrink them).
+  struct Timeouts {
+    u32 done_poll_iters = 1'000'000;  // SR.Done poll after a CR write
+    u32 rfo_poll_iters = 100'000;     // read-FIFO-occupancy poll
+  };
+
+  void set_timeouts(const Timeouts& t) { timeouts_ = t; }
+  const Timeouts& timeouts() const { return timeouts_; }
+
   HwIcapDriver(cpu::CpuContext& cpu, u32 unroll_factor = 16,
                Addr hwicap_base = soc::MemoryMap::kHwicap.base,
                Addr rp_base = soc::MemoryMap::kRpCtrl.base,
@@ -36,8 +46,10 @@ class HwIcapDriver {
 
   /// Full Listing-2 flow: decouple -> init -> transfer -> recouple,
   /// measured as the paper does ("from decoupling the RP till it is
-  /// coupled again").
-  Status init_reconfig_process(const ReconfigModule& m);
+  /// coupled again"). `hold_decoupled` skips the final recouple for the
+  /// verified-activation recovery flow.
+  Status init_reconfig_process(const ReconfigModule& m,
+                               bool hold_decoupled = false);
 
   /// Keyhole transfer only (the fill/flush loop).
   Status reconfigure_RP(Addr data, u32 pbit_size);
@@ -62,6 +74,7 @@ class HwIcapDriver {
   Addr rp_base_;
   TimerDriver timer_;
   Timing timing_;
+  Timeouts timeouts_;
 };
 
 }  // namespace rvcap::driver

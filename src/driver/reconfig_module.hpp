@@ -15,6 +15,7 @@ struct ReconfigModule {
   u32 rm_id = 0;           // functionality of the RM
   Addr start_address = 0;  // DDR staging address (filled by init_RModules)
   u32 pbit_size = 0;       // bytes (filled by init_RModules)
+  u32 crc32 = 0;           // CRC-32 of the image (filled by init_RModules)
 };
 
 /// DMA completion handling mode (Listing 1's `mode` parameter).

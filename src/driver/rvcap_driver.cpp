@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/log.hpp"
 #include "soc/memory_map.hpp"
 
@@ -34,7 +35,9 @@ Status RvCapDriver::init_RModules(std::span<ReconfigModule> modules,
     if (auto st = volume.file_size(m.pbit_name, &size); !ok(st)) return st;
     m.pbit_size = size;
     m.start_address = next;
-    // Stream SD -> DDR in cluster-sized chunks.
+    m.crc32 = 0;
+    // Stream SD -> DDR in cluster-sized chunks, accumulating the image
+    // CRC so the staged copy can be verified before any ICAP transfer.
     u32 off = 0;
     while (off < size) {
       const u32 n = std::min<u32>(static_cast<u32>(chunk.size()), size - off);
@@ -43,6 +46,7 @@ Status RvCapDriver::init_RModules(std::span<ReconfigModule> modules,
           !ok(st)) {
         return st;
       }
+      m.crc32 = crc32(std::span<const u8>(chunk).first(n), m.crc32);
       cpu_.write_buffer(m.start_address + off, std::span(chunk).first(n));
       off += n;
     }
@@ -73,7 +77,8 @@ void RvCapDriver::select_decompress(bool enable) {
 }
 
 Status RvCapDriver::init_reconfig_process_compressed(const ReconfigModule& m,
-                                                     DmaMode mode) {
+                                                     DmaMode mode,
+                                                     bool hold_decoupled) {
   const u64 t0 = timer_.read_mtime();
   cpu_.spend_call_overhead();
   cpu_.spend_instructions(kDecisionInstructions);
@@ -87,7 +92,7 @@ Status RvCapDriver::init_reconfig_process_compressed(const ReconfigModule& m,
   // before touching any route (the kStDraining status bit).
   if (ok(st)) {
     bool drained = false;
-    for (int i = 0; i < 4'000'000; ++i) {
+    for (u32 i = 0; i < timeouts_.drain_poll_iters; ++i) {
       if (!(cpu_.load32_uncached(rp_base_ + RpControl::kStatus) &
             RpControl::kStDraining)) {
         drained = true;
@@ -103,7 +108,7 @@ Status RvCapDriver::init_reconfig_process_compressed(const ReconfigModule& m,
   const u64 t2 = timer_.read_mtime();
   select_decompress(false);
   select_ICAP(false);
-  decouple_accel(false);
+  if (!hold_decoupled) decouple_accel(false);
   timing_.decision_ticks = t1 - t0;
   timing_.reconfig_ticks = t2 - t1;
   return st;
@@ -126,16 +131,24 @@ Status RvCapDriver::reconfigure_RP(Addr data, u32 pbit_size, DmaMode mode) {
 Status RvCapDriver::wait_mm2s_done(DmaMode mode) {
   if (mode == DmaMode::kInterrupt) {
     const u32 src = cpu_.wait_for_irq(plic_, plic_base_ +
-                                                irq::Plic::kClaimComplete);
+                                                irq::Plic::kClaimComplete,
+                                      timeouts_.irq_wait_cycles);
     if (src == 0) return Status::kTimeout;
     // Acknowledge at the DMA (W1C) and complete at the PLIC.
-    cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
+    const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
+    cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr,
+                          AxiDma::kSrIocIrq | AxiDma::kSrErrIrq);
     cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src);
+    if (sr & AxiDma::kSrErrMask) return Status::kIoError;
     return Status::kOk;
   }
   // Blocking: poll the status register's IOC bit.
-  for (int i = 0; i < 4'000'000; ++i) {
+  for (u32 i = 0; i < timeouts_.mm2s_poll_iters; ++i) {
     const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
+    if (sr & AxiDma::kSrErrMask) {
+      cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrErrIrq);
+      return Status::kIoError;
+    }
     if (sr & AxiDma::kSrIocIrq) {
       cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
       return Status::kOk;
@@ -145,7 +158,8 @@ Status RvCapDriver::wait_mm2s_done(DmaMode mode) {
 }
 
 Status RvCapDriver::init_reconfig_process(const ReconfigModule& m,
-                                          DmaMode mode) {
+                                          DmaMode mode,
+                                          bool hold_decoupled) {
   // ---- decision phase (T_d): select the RM, prepare the fetch ----
   const u64 t0 = timer_.read_mtime();
   cpu_.spend_call_overhead();
@@ -153,7 +167,7 @@ Status RvCapDriver::init_reconfig_process(const ReconfigModule& m,
   decouple_accel(true);
   select_ICAP(true);
   u32 cr = AxiDma::kCrRunStop;
-  if (mode == DmaMode::kInterrupt) cr |= AxiDma::kCrIocIrqEn;
+  if (mode == DmaMode::kInterrupt) cr |= AxiDma::kCrIocIrqEn | AxiDma::kCrErrIrqEn;
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sCr, cr);
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSa,
                         static_cast<u32>(m.start_address));
@@ -167,11 +181,37 @@ Status RvCapDriver::init_reconfig_process(const ReconfigModule& m,
   const u64 t2 = timer_.read_mtime();
 
   select_ICAP(false);
-  decouple_accel(false);  // recouple the RP (end of Listing 1)
+  // Recouple the RP (end of Listing 1) — unless the caller is running
+  // the verified-activation flow and keeps the RP isolated until the
+  // new configuration checks out.
+  if (!hold_decoupled) decouple_accel(false);
 
   timing_.decision_ticks = t1 - t0;
   timing_.reconfig_ticks = t2 - t1;
   return st;
+}
+
+void RvCapDriver::dma_reset() {
+  cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sCr, AxiDma::kCrReset);
+  cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmCr, AxiDma::kCrReset);
+}
+
+void RvCapDriver::icap_abort() {
+  const u32 cur = cpu_.load32_uncached(rp_base_ + RpControl::kControl);
+  cpu_.store32_uncached(rp_base_ + RpControl::kControl,
+                        cur | RpControl::kCtlIcapAbort);
+}
+
+void RvCapDriver::cleanup_after_failure() {
+  cpu_.spend_call_overhead();
+  dma_reset();
+  // Settle window: each status read advances simulated time, letting
+  // the reset engine discard read bursts that were still in flight
+  // toward the DDR when the transfer died.
+  for (int i = 0; i < 16; ++i) {
+    (void)cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
+  }
+  icap_abort();
 }
 
 Status RvCapDriver::run_accelerator(Addr src, u32 in_bytes, Addr dst,
@@ -210,7 +250,7 @@ Status RvCapDriver::run_accelerator(Addr src, u32 in_bytes, Addr dst,
       cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src_id);
     }
   } else {
-    for (int i = 0; i < 40'000'000; ++i) {
+    for (u32 i = 0; i < timeouts_.s2mm_poll_iters; ++i) {
       const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kS2mmSr);
       if (sr & AxiDma::kSrIocIrq) {
         cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr,
@@ -228,7 +268,8 @@ Status RvCapDriver::wait_s2mm_done(DmaMode mode) {
   if (mode == DmaMode::kInterrupt) {
     while (true) {
       const u32 src = cpu_.wait_for_irq(plic_, plic_base_ +
-                                                  irq::Plic::kClaimComplete);
+                                                  irq::Plic::kClaimComplete,
+                                        timeouts_.irq_wait_cycles);
       if (src == 0) return Status::kTimeout;
       const bool s2mm = (src == soc::IrqMap::kDmaS2mm);
       if (s2mm) {
@@ -239,7 +280,7 @@ Status RvCapDriver::wait_s2mm_done(DmaMode mode) {
       if (s2mm) return Status::kOk;
     }
   }
-  for (int i = 0; i < 40'000'000; ++i) {
+  for (u32 i = 0; i < timeouts_.s2mm_poll_iters; ++i) {
     const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kS2mmSr);
     if (sr & AxiDma::kSrIocIrq) {
       cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr, AxiDma::kSrIocIrq);
@@ -250,7 +291,8 @@ Status RvCapDriver::wait_s2mm_done(DmaMode mode) {
 }
 
 Status RvCapDriver::readback(const fabric::FrameAddr& start, u32 words,
-                             Addr cmd_staging, Addr dst, DmaMode mode) {
+                             Addr cmd_staging, Addr dst, DmaMode mode,
+                             bool hold_decoupled) {
   if (words == 0 || words % 2 != 0) return Status::kInvalidArgument;
   cpu_.spend_call_overhead();
 
@@ -281,14 +323,15 @@ Status RvCapDriver::readback(const fabric::FrameAddr& start, u32 words,
   const Status st = wait_s2mm_done(mode);
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
   select_ICAP(false);
-  decouple_accel(false);
+  if (!hold_decoupled) decouple_accel(false);
   return st;
 }
 
 Status RvCapDriver::readback_partition(const fabric::DeviceGeometry& dev,
                                        const fabric::Partition& part,
                                        Addr cmd_staging, Addr dst,
-                                       u32* words_read, DmaMode mode) {
+                                       u32* words_read, DmaMode mode,
+                                       bool hold_decoupled) {
   *words_read = 0;
   const auto& cols = part.columns();
   usize i = 0;
@@ -303,7 +346,7 @@ Status RvCapDriver::readback_partition(const fabric::DeviceGeometry& dev,
     const u32 words = frames * fabric::kFrameWords;
     const fabric::FrameAddr start{cols[i].row, cols[i].column, 0};
     if (auto st = readback(start, words, cmd_staging,
-                           dst + u64{*words_read} * 4, mode);
+                           dst + u64{*words_read} * 4, mode, hold_decoupled);
         !ok(st)) {
       return st;
     }

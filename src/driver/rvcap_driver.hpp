@@ -26,6 +26,20 @@ class RvCapDriver {
     double reconfig_us() const { return TimerDriver::ticks_to_us(reconfig_ticks); }
   };
 
+  /// Poll/wait bounds for every blocking loop in the driver. Defaults
+  /// match the historical hard-coded values; tests shrink them so
+  /// timeout paths complete in milliseconds instead of multi-second
+  /// spins.
+  struct Timeouts {
+    u32 mm2s_poll_iters = 4'000'000;   // MM2S completion poll (blocking)
+    u32 s2mm_poll_iters = 40'000'000;  // S2MM completion poll (blocking)
+    u32 drain_poll_iters = 4'000'000;  // decompressor drain poll
+    u64 irq_wait_cycles = 100'000'000; // WFI bound (interrupt mode)
+  };
+
+  void set_timeouts(const Timeouts& t) { timeouts_ = t; }
+  const Timeouts& timeouts() const { return timeouts_; }
+
   RvCapDriver(cpu::CpuContext& cpu, irq::Plic& plic,
               Addr dma_base = soc::MemoryMap::kDmaCtrl.base,
               Addr rp_base = soc::MemoryMap::kRpCtrl.base,
@@ -41,7 +55,10 @@ class RvCapDriver {
 
   /// Full Listing-1 reconfiguration: decouple -> select ICAP ->
   /// reconfigure_RP -> recouple, measuring T_d and T_r via the CLINT.
-  Status init_reconfig_process(const ReconfigModule& m, DmaMode mode);
+  /// `hold_decoupled` skips the final recouple: the safe-DPR recovery
+  /// flow keeps the RP isolated until the configuration is verified.
+  Status init_reconfig_process(const ReconfigModule& m, DmaMode mode,
+                               bool hold_decoupled = false);
 
   /// Individual steps (exposed for tests and ablations).
   void decouple_accel(bool decouple);
@@ -53,7 +70,19 @@ class RvCapDriver {
   /// extension): enables the inline decompressor for the transfer.
   /// `m.pbit_size` is the COMPRESSED byte count.
   Status init_reconfig_process_compressed(const ReconfigModule& m,
-                                          DmaMode mode);
+                                          DmaMode mode,
+                                          bool hold_decoupled = false);
+
+  // ---- failure cleanup (the recovery state machine's ops) ----
+  /// Soft-reset both DMA channels, dropping any wedged or errored job.
+  void dma_reset();
+  /// Pulse the RP-control abort bit: flush the stream datapath and
+  /// desync the ICAP.
+  void icap_abort();
+  /// Full cleanup after a failed transfer: DMA reset, a settle window
+  /// that drains in-flight DDR read beats, then the datapath abort.
+  /// Leaves decouple/select_ICAP routing bits untouched.
+  void cleanup_after_failure();
 
   /// Acceleration mode: stream `in_bytes` from `src` through the RM and
   /// write `out_bytes` back to `dst` (Fig. 2 datapath, select_ICAP=0).
@@ -66,7 +95,8 @@ class RvCapDriver {
   /// block packs word pairs into 64-bit beats).
   Status readback(const fabric::FrameAddr& start, u32 words,
                   Addr cmd_staging, Addr dst,
-                  DmaMode mode = DmaMode::kInterrupt);
+                  DmaMode mode = DmaMode::kInterrupt,
+                  bool hold_decoupled = false);
 
   /// Read back every frame of a partition (one pass per contiguous
   /// column range); on return *words_read holds the total word count
@@ -74,13 +104,17 @@ class RvCapDriver {
   Status readback_partition(const fabric::DeviceGeometry& dev,
                             const fabric::Partition& part, Addr cmd_staging,
                             Addr dst, u32* words_read,
-                            DmaMode mode = DmaMode::kInterrupt);
+                            DmaMode mode = DmaMode::kInterrupt,
+                            bool hold_decoupled = false);
 
   /// Write an RM control register through the RP control interface.
   void rm_reg_write(u32 index, u32 value);
   u32 rm_reg_read(u32 index);
 
   const Timing& last_timing() const { return timing_; }
+
+  /// Current CLINT mtime (exposed so services can timestamp events).
+  u64 mtime() { return timer_.read_mtime(); }
 
   /// The CPU context driver services run on (scrubber, manager).
   cpu::CpuContext& cpu_context() { return cpu_; }
@@ -102,6 +136,7 @@ class RvCapDriver {
   Addr plic_base_;
   TimerDriver timer_;
   Timing timing_;
+  Timeouts timeouts_;
 };
 
 }  // namespace rvcap::driver

@@ -9,7 +9,8 @@ Status Scrubber::checksum_partition(const fabric::Partition& part,
                                     u32* crc_out, u32* words_out) {
   u32 words = 0;
   if (auto st = drv_.readback_partition(dev_, part, cfg_.cmd_staging,
-                                        cfg_.rb_buffer, &words);
+                                        cfg_.rb_buffer, &words,
+                                        DmaMode::kInterrupt, hold_decoupled_);
       !ok(st)) {
     return st;
   }

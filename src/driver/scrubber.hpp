@@ -55,6 +55,11 @@ class Scrubber {
   const Stats& stats() const { return stats_; }
   bool has_snapshot() const { return has_golden_; }
 
+  /// When set, readbacks leave the RP decoupled afterwards — used by
+  /// the recovery flow, which scrub-verifies a freshly loaded partition
+  /// BEFORE coupling it to the system.
+  void set_hold_decoupled(bool hold) { hold_decoupled_ = hold; }
+
  private:
   Status checksum_partition(const fabric::Partition& part, u32* crc_out,
                             u32* words_out);
@@ -63,6 +68,7 @@ class Scrubber {
   const fabric::DeviceGeometry& dev_;
   Config cfg_;
   bool has_golden_ = false;
+  bool hold_decoupled_ = false;
   u32 golden_crc_ = 0;
   Stats stats_;
 };

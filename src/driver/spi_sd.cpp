@@ -61,10 +61,7 @@ Status SpiSdDriver::init_card() {
   return Status::kOk;
 }
 
-Status SpiSdDriver::read_block(u32 lba, std::span<u8> buf) {
-  if (buf.size() != storage::kBlockSize) return Status::kInvalidArgument;
-  if (!initialized_) return Status::kIoError;
-  cpu_.spend_call_overhead();
+Status SpiSdDriver::read_block_once(u32 lba, std::span<u8> buf) {
   if (command(17, lba) != 0x00) return Status::kIoError;
   // Hunt for the start token.
   u8 tok = 0xFF;
@@ -74,6 +71,22 @@ Status SpiSdDriver::read_block(u32 lba, std::span<u8> buf) {
   const u16 crc = static_cast<u16>((spi_xfer(0xFF) << 8) | spi_xfer(0xFF));
   if (crc != SdCard::crc16(buf)) return Status::kCrcError;
   return Status::kOk;
+}
+
+Status SpiSdDriver::read_block(u32 lba, std::span<u8> buf) {
+  if (buf.size() != storage::kBlockSize) return Status::kInvalidArgument;
+  if (!initialized_) return Status::kIoError;
+  cpu_.spend_call_overhead();
+  Status st = read_block_once(lba, buf);
+  // SD transfers fail transiently (marginal wiring, clocking, card
+  // state): a missing start token or a bad CRC is worth re-issuing the
+  // command before giving up.
+  for (u32 attempt = 0; attempt < read_retries_ && !ok(st); ++attempt) {
+    if (st != Status::kTimeout && st != Status::kCrcError) break;
+    st = read_block_once(lba, buf);
+    if (ok(st)) ++reads_recovered_;
+  }
+  return st;
 }
 
 Status SpiSdDriver::write_block(u32 lba, std::span<const u8> buf) {

@@ -25,8 +25,17 @@ class SpiSdDriver {
   Status init_card();
   bool initialized() const { return initialized_; }
 
+  /// Single-block read with bounded retry: transient token timeouts and
+  /// CRC mismatches are re-issued up to `read_retries()` times before
+  /// the error escapes to the caller.
   Status read_block(u32 lba, std::span<u8> buf);
   Status write_block(u32 lba, std::span<const u8> buf);
+
+  /// Extra attempts after a failed read (0 = fail fast).
+  void set_read_retries(u32 n) { read_retries_ = n; }
+  u32 read_retries() const { return read_retries_; }
+  /// Reads that only succeeded after at least one retry.
+  u64 reads_recovered() const { return reads_recovered_; }
 
   /// One full-duplex SPI byte (exposed for tests).
   u8 spi_xfer(u8 mosi);
@@ -35,10 +44,13 @@ class SpiSdDriver {
   void select(bool on);
   /// Send a command frame; returns the R1 byte (0xFF on timeout).
   u8 command(u8 cmd, u32 arg);
+  Status read_block_once(u32 lba, std::span<u8> buf);
 
   cpu::CpuContext& cpu_;
   Addr base_;
   bool initialized_ = false;
+  u32 read_retries_ = 2;
+  u64 reads_recovered_ = 0;
 };
 
 /// BlockIo binding over the timed SPI/SD driver: lets the from-scratch

@@ -66,6 +66,11 @@ class ConfigMemory {
   };
   PartitionState partition_state(usize handle) const;
   usize num_partitions() const { return trackers_.size(); }
+  /// The partition geometry registered under `handle` (recovery uses it
+  /// to build a blanking bitstream for the failed region).
+  const Partition& partition(usize handle) const {
+    return trackers_.at(handle).part;
+  }
 
   u64 frames_written() const { return frames_written_; }
   u64 bad_address_writes() const { return bad_address_writes_; }

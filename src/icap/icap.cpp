@@ -31,6 +31,22 @@ void Icap::tick() {
 
 bool Icap::busy() const { return in_.can_pop() || read_words_left_ > 0; }
 
+void Icap::abort() {
+  in_.clear();
+  rdata_.clear();
+  read_words_left_ = 0;
+  read_word_in_frame_ = 0;
+  state_ = State::kUnsynced;
+  cur_reg_ = 0;
+  payload_left_ = 0;
+  fdri_pending_type2_ = false;
+  fdro_pending_type2_ = false;
+  frame_buf_.clear();
+  crc_.reset();
+  wcfg_ = false;
+  clear_errors();
+}
+
 void Icap::start_readback(u32 words) {
   read_words_left_ = words;
   read_word_in_frame_ = 0;
@@ -54,6 +70,27 @@ void Icap::emit_read_word() {
 }
 
 void Icap::consume(u32 word) {
+  if (fault_ != nullptr && state_ != State::kUnsynced) {
+    namespace fs = sim::fault_sites;
+    if (fault_->should_fire(fs::kIcapSyncLoss)) {
+      // Injected sync loss: the FSM falls out of sync and swallows
+      // this and every following word until the next sync sequence.
+      state_ = State::kUnsynced;
+      cur_reg_ = 0;
+      payload_left_ = 0;
+      fdri_pending_type2_ = false;
+      fdro_pending_type2_ = false;
+      frame_buf_.clear();
+      wcfg_ = false;
+      return;
+    }
+    if ((state_ == State::kType1Data || state_ == State::kType2Data) &&
+        fault_->should_fire(fs::kIcapCrcCorrupt)) {
+      // Injected single-bit upset on the 32-bit write port; the
+      // bitstream's trailing CRC check catches the divergence.
+      word ^= 1u << fault_->value(fs::kIcapCrcCorrupt, 32);
+    }
+  }
   switch (state_) {
     case State::kUnsynced:
       if (word == bitstream::kSyncWord) state_ = State::kSynced;

@@ -15,6 +15,7 @@
 #include "bitstream/packets.hpp"
 #include "fabric/config_memory.hpp"
 #include "sim/component.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/fifo.hpp"
 
 namespace rvcap::icap {
@@ -51,6 +52,14 @@ class Icap : public sim::Component {
     crc_error_ = false;
     idcode_mismatch_ = false;
   }
+
+  /// Driver-initiated abort (RP-control abort pulse): flush both port
+  /// FIFOs and return the FSM to the unsynced state with a clean CRC,
+  /// discarding any partially received frame and sticky errors.
+  void abort();
+
+  /// Optional fault injection (sites: icap.sync_loss, icap.crc).
+  void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
 
  private:
   enum class State {
@@ -93,6 +102,7 @@ class Icap : public sim::Component {
   u64 desyncs_ = 0;
   Cycles last_desync_ = 0;
   Cycles now_ = 0;
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace rvcap::icap

@@ -26,6 +26,13 @@ class Axis2Icap : public sim::Component {
 
   u64 words_emitted() const { return words_; }
 
+  /// Abort support: drop the buffered half-beat so the next transfer
+  /// starts on a fresh 64-bit boundary.
+  void reset_stream() {
+    have_high_ = false;
+    high_word_ = 0;
+  }
+
  private:
   static u32 bswap(u32 v) {
     return (v >> 24) | ((v >> 8) & 0xFF00) | ((v << 8) & 0xFF0000) |

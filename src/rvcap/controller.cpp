@@ -7,7 +7,8 @@ namespace rvcap::rvcap_ctrl {
 RvCapController::RvCapController(icap::Icap& icap, axi::AxiPort& ddr_port,
                                  const axi::AddrRange& ddr_window,
                                  const AxiDma::Config& dma_cfg)
-    : dma_("rvcap.dma", dma_cfg),
+    : icap_(icap),
+      dma_("rvcap.dma", dma_cfg),
       switch_("rvcap.axis_switch"),
       decomp_("rvcap.decompressor", switch_.to_icap(), decomp_out_),
       axis2icap_("rvcap.axis2icap", decomp_out_, icap.port()),
@@ -37,7 +38,19 @@ RvCapController::RvCapController(icap::Icap& icap, axi::AxiPort& ddr_port,
   ddr_xbar_.add_manager(&dma_.mem_port());
   ddr_xbar_.add_subordinate(ddr_window, &ddr_port);
   rp_ctrl_.attach_decompressor(&decomp_);
+  rp_ctrl_.set_abort_hook([this] { abort_datapath(); });
   icap2axis_.set_gate(&switch_);
+}
+
+void RvCapController::abort_datapath() {
+  switch_.from_dma().clear();
+  switch_.to_icap().clear();
+  switch_.from_icap().clear();
+  switch_.to_dma().clear();
+  decomp_out_.clear();
+  decomp_.reset_stream();
+  axis2icap_.reset_stream();
+  icap_.abort();
 }
 
 void RvCapController::register_components(sim::Simulator& sim) {

@@ -48,6 +48,13 @@ class RvCapController {
   axi::AxisFifo& rm_input() { return isolator_.out_to_rp(); }
   axi::AxisFifo& rm_output_in() { return isolator_.in_from_rp(); }
 
+  /// Flush every stage of the reconfiguration datapath: stream FIFOs
+  /// between DMA and ICAP, the decompressor and AXIS2ICAP packers, and
+  /// the ICAP FSM itself. Wired to RpControl's kCtlIcapAbort pulse so
+  /// the driver can recover from a failed transfer without stale beats
+  /// poisoning the next attempt.
+  void abort_datapath();
+
   AxiDma& dma() { return dma_; }
   RpControl& rp_control() { return rp_ctrl_; }
   axi::AxisSwitch& axis_switch() { return switch_; }
@@ -58,6 +65,7 @@ class RvCapController {
 
  private:
   // Datapath.
+  icap::Icap& icap_;
   AxiDma dma_;
   axi::AxisSwitch switch_;
   axi::AxisFifo decomp_out_{4};  // decompressor -> AXIS2ICAP link

@@ -30,6 +30,19 @@ class Decompressor : public sim::Component {
   u64 words_out() const { return words_out_; }
   bool format_error() const { return format_error_; }
 
+  /// Abort support: drop buffered half-beats and return the decoder to
+  /// its initial state (next stream starts at the magic word again).
+  void reset_stream() {
+    have_pending_in_ = false;
+    pending_in_ = 0;
+    saw_last_in_ = false;
+    have_pending_out_ = false;
+    pending_out_ = 0;
+    state_ = State::kMagic;
+    run_left_ = 0;
+    format_error_ = false;
+  }
+
  private:
   static u32 bswap(u32 v) {
     return (v >> 24) | ((v >> 8) & 0xFF00) | ((v << 8) & 0xFF0000) |

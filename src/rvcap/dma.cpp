@@ -32,7 +32,11 @@ void AxiDma::write_reg(Addr addr, u32 value) {
         mm2s_cr_ = 0;
         mm2s_sr_ = kSrHalted;
         mm2s_job_.reset();
-        mm2s_bursts_outstanding_ = 0;
+        mm2s_out_.clear();
+        mm2s_beats_streamed_ = 0;
+        mm2s_fault_beat_ = 0;
+        mm2s_early_ioc_beat_ = 0;
+        mm2s_stalled_ = false;
         break;
       }
       mm2s_cr_ = value;
@@ -43,7 +47,9 @@ void AxiDma::write_reg(Addr addr, u32 value) {
       }
       break;
     case kMm2sSr:
-      mm2s_sr_ &= ~(value & kSrIocIrq);  // write-1-to-clear
+      // Write-1-to-clear for interrupt bits; error causes stay sticky
+      // until soft reset, as on the Xilinx core.
+      mm2s_sr_ &= ~(value & (kSrIocIrq | kSrErrIrq));
       break;
     case kMm2sSa:
       mm2s_sa_ = (mm2s_sa_ & ~u64{0xFFFFFFFF}) | value;
@@ -54,8 +60,23 @@ void AxiDma::write_reg(Addr addr, u32 value) {
     case kMm2sLength: {
       const u64 bytes = value & 0x03FFFFFF;
       if ((mm2s_cr_ & kCrRunStop) && bytes > 0 && !mm2s_job_.has_value()) {
-        mm2s_job_ = Mm2sJob{mm2s_sa_, bytes, (bytes + 7) / 8};
+        const u64 beats = (bytes + 7) / 8;
+        mm2s_job_ = Mm2sJob{mm2s_sa_, bytes, beats};
         mm2s_sr_ &= ~kSrIdle;
+        mm2s_beats_streamed_ = 0;
+        mm2s_fault_beat_ = 0;
+        mm2s_early_ioc_beat_ = 0;
+        if (fault_ != nullptr) {
+          namespace fs = sim::fault_sites;
+          if (fault_->should_fire(fs::kDmaMm2sSlvErr)) {
+            mm2s_fault_beat_ = 1 + fault_->value(fs::kDmaMm2sSlvErr, beats);
+          }
+          if (fault_->should_fire(fs::kDmaMm2sStall)) mm2s_stalled_ = true;
+          if (beats > 1 && fault_->should_fire(fs::kDmaMm2sEarlyIoc)) {
+            mm2s_early_ioc_beat_ =
+                1 + fault_->value(fs::kDmaMm2sEarlyIoc, beats - 1);
+          }
+        }
       } else {
         log_warn("dma: MM2S length write ignored (halted or busy)");
       }
@@ -67,6 +88,7 @@ void AxiDma::write_reg(Addr addr, u32 value) {
         s2mm_sr_ = kSrHalted;
         s2mm_job_.reset();
         s2mm_buf_.clear();
+        s2mm_in_.clear();
         break;
       }
       s2mm_cr_ = value;
@@ -108,7 +130,17 @@ void AxiDma::device_tick() {
 }
 
 void AxiDma::tick_mm2s() {
-  if (!mm2s_job_.has_value()) return;
+  if (!mm2s_job_.has_value()) {
+    // Drain read data from bursts that were in flight when the job
+    // ended early (injected error or premature IOC); left in place it
+    // would wedge the memory crossbar and poison the next transfer.
+    if (mem_.r.can_pop()) {
+      const axi::AxiR r = *mem_.r.pop();
+      if (r.last && mm2s_bursts_outstanding_ > 0) --mm2s_bursts_outstanding_;
+    }
+    return;
+  }
+  if (mm2s_stalled_) return;  // injected wedge: no progress until reset
   Mm2sJob& j = *mm2s_job_;
 
   // Issue read bursts, keeping up to max_outstanding in flight.
@@ -128,11 +160,26 @@ void AxiDma::tick_mm2s() {
   // Move read data into the output stream, one beat per cycle.
   if (mem_.r.can_pop() && mm2s_out_.can_push()) {
     const axi::AxiR r = *mem_.r.pop();
-    const bool stream_last = (j.beats_left_to_stream == 1);
-    mm2s_out_.push(axi::AxisBeat{r.data, 0xFF, stream_last});
     if (r.last) --mm2s_bursts_outstanding_;
-    if (--j.beats_left_to_stream == 0) {
+    ++mm2s_beats_streamed_;
+    if (mm2s_fault_beat_ != 0 && mm2s_beats_streamed_ == mm2s_fault_beat_) {
+      // Injected SLVERR on the read channel: the engine drops the
+      // transfer and halts with DMASlvErr, as the Xilinx core does.
       mm2s_job_.reset();
+      mm2s_fault_beat_ = 0;
+      mm2s_cr_ &= ~kCrRunStop;
+      mm2s_sr_ |= kSrDmaSlvErr | kSrErrIrq | kSrHalted;
+      return;
+    }
+    const bool early = (mm2s_early_ioc_beat_ != 0 &&
+                        mm2s_beats_streamed_ == mm2s_early_ioc_beat_);
+    const bool stream_last = (j.beats_left_to_stream == 1) || early;
+    mm2s_out_.push(axi::AxisBeat{r.data, 0xFF, stream_last});
+    if (--j.beats_left_to_stream == 0 || early) {
+      // `early` is the injected premature-IOC fault: completion is
+      // signalled with part of the bitstream never streamed.
+      mm2s_job_.reset();
+      mm2s_early_ioc_beat_ = 0;
       mm2s_sr_ |= kSrIdle | kSrIocIrq;
       ++mm2s_done_count_;
     }
@@ -179,7 +226,8 @@ void AxiDma::tick_s2mm() {
 }
 
 void AxiDma::update_irqs() {
-  mm2s_irq_.set((mm2s_sr_ & kSrIocIrq) && (mm2s_cr_ & kCrIocIrqEn));
+  mm2s_irq_.set(((mm2s_sr_ & kSrIocIrq) && (mm2s_cr_ & kCrIocIrqEn)) ||
+                ((mm2s_sr_ & kSrErrIrq) && (mm2s_cr_ & kCrErrIrqEn)));
   s2mm_irq_.set((s2mm_sr_ & kSrIocIrq) && (s2mm_cr_ & kCrIocIrqEn));
 }
 

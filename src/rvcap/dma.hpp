@@ -13,6 +13,7 @@
 
 #include "axi/lite_slave.hpp"
 #include "irq/plic.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace rvcap::rvcap_ctrl {
 
@@ -33,9 +34,15 @@ class AxiDma : public axi::AxiLiteSlave {
   static constexpr u32 kCrRunStop = 1u << 0;
   static constexpr u32 kCrReset = 1u << 2;
   static constexpr u32 kCrIocIrqEn = 1u << 12;
+  static constexpr u32 kCrErrIrqEn = 1u << 14;
   static constexpr u32 kSrHalted = 1u << 0;
   static constexpr u32 kSrIdle = 1u << 1;
+  static constexpr u32 kSrDmaIntErr = 1u << 4;
+  static constexpr u32 kSrDmaSlvErr = 1u << 5;
+  static constexpr u32 kSrDmaDecErr = 1u << 6;
   static constexpr u32 kSrIocIrq = 1u << 12;
+  static constexpr u32 kSrErrIrq = 1u << 14;
+  static constexpr u32 kSrErrMask = kSrDmaIntErr | kSrDmaSlvErr | kSrDmaDecErr;
 
   struct Config {
     u32 max_burst_beats = 16;  // §IV-A: "maximum AXI burst size ... 16"
@@ -53,6 +60,11 @@ class AxiDma : public axi::AxiLiteSlave {
 
   void set_mm2s_irq(irq::IrqLine line) { mm2s_irq_ = line; }
   void set_s2mm_irq(irq::IrqLine line) { s2mm_irq_ = line; }
+
+  /// Optional fault injection (sites: dma.mm2s.slverr, dma.mm2s.stall,
+  /// dma.mm2s.early_ioc). Faults are planned when a job starts and
+  /// cleared by soft reset (kCrReset).
+  void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
 
   bool mm2s_idle() const { return !mm2s_job_.has_value(); }
   bool s2mm_idle() const { return !s2mm_job_.has_value(); }
@@ -93,6 +105,10 @@ class AxiDma : public axi::AxiLiteSlave {
   std::optional<Mm2sJob> mm2s_job_;
   u32 mm2s_bursts_outstanding_ = 0;
   u64 mm2s_done_count_ = 0;
+  u64 mm2s_beats_streamed_ = 0;   // beats moved for the current job
+  u64 mm2s_fault_beat_ = 0;       // injected SLVERR at this beat (1-based)
+  u64 mm2s_early_ioc_beat_ = 0;   // injected premature completion (1-based)
+  bool mm2s_stalled_ = false;     // injected wedge
 
   // S2MM state.
   u32 s2mm_cr_ = 0;
@@ -103,6 +119,7 @@ class AxiDma : public axi::AxiLiteSlave {
 
   irq::IrqLine mm2s_irq_;
   irq::IrqLine s2mm_irq_;
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace rvcap::rvcap_ctrl

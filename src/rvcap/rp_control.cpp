@@ -48,6 +48,8 @@ void RpControl::write_reg(Addr addr, u32 value) {
       decompress_ = want_decompress;
       if (decomp_ != nullptr) decomp_->set_enabled(decompress_);
     }
+    // Abort is a pulse, not stored state: it fires once per write.
+    if ((value & kCtlIcapAbort) != 0 && abort_hook_) abort_hook_();
     return;
   }
   if (off >= kRmRegBase && off < kRmRegBase + 4 * kNumRmRegs) {

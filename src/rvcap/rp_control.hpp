@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "axi/isolator.hpp"
 #include "axi/lite_slave.hpp"
@@ -33,6 +34,10 @@ class RpControl : public axi::AxiLiteSlave {
   static constexpr u32 kCtlDecouple = 1u << 0;
   static constexpr u32 kCtlSelectIcap = 1u << 1;
   static constexpr u32 kCtlDecompress = 1u << 2;
+  /// Self-clearing pulse: abort the ICAP-side datapath (flush stream
+  /// FIFOs, reset the decompressor/AXIS2ICAP packers, desync the ICAP).
+  /// Reads back as 0.
+  static constexpr u32 kCtlIcapAbort = 1u << 4;
   static constexpr u32 kStDecoupled = 1u << 0;
   static constexpr u32 kStIcapSelected = 1u << 1;
   static constexpr u32 kStRmActive = 1u << 2;
@@ -46,6 +51,12 @@ class RpControl : public axi::AxiLiteSlave {
 
   /// Wire the optional bitstream decompressor (controlled by bit 2).
   void attach_decompressor(class Decompressor* d) { decomp_ = d; }
+
+  /// Invoked on a kCtlIcapAbort pulse; the controller wires its
+  /// datapath-flush routine here.
+  void set_abort_hook(std::function<void()> hook) {
+    abort_hook_ = std::move(hook);
+  }
 
   /// The SoC wires the active RM's register file here (nullptr while
   /// the partition holds no module).
@@ -76,6 +87,7 @@ class RpControl : public axi::AxiLiteSlave {
   RmRegisterFile* rm_ = nullptr;
   u32 rm_id_ = 0;
   u64 blocked_accesses_ = 0;
+  std::function<void()> abort_hook_;
 };
 
 }  // namespace rvcap::rvcap_ctrl

@@ -1,0 +1,121 @@
+// Deterministic fault-injection framework.
+//
+// Safe DPR (Di Carlo et al., §II) means surviving the failures the
+// field actually produces: SD transfer glitches, AXI error responses,
+// DMA engines that stall or signal completion early, ICAP sync loss,
+// and bit flips in staged bitstreams. Each instrumented component
+// queries a named *site* on a central FaultInjector; a site fires
+// according to an armed plan (trigger count, probability, skip) driven
+// by a per-site SplitMix64 stream seeded from (global seed, site name).
+// Because every site owns its stream, the decision sequence at one site
+// is independent of query interleaving at the others, so any failure
+// scenario is reproducible from a single seed.
+//
+// Components hold a nullable FaultInjector*; the null check is the only
+// cost on the fault-free path. Unarmed sites never fire.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rvcap::sim {
+
+/// Canonical site names (components pass these to should_fire()).
+namespace fault_sites {
+/// SD card swallows the 0xFE start token of a single-block read.
+inline constexpr std::string_view kSdReadToken = "sd.read.token";
+/// SD card corrupts the CRC16 trailing a read data block.
+inline constexpr std::string_view kSdReadCrc = "sd.read.crc";
+/// AXI DMA MM2S aborts mid-transfer with a SLVERR-style error.
+inline constexpr std::string_view kDmaMm2sSlvErr = "dma.mm2s.slverr";
+/// AXI DMA MM2S engine wedges (never completes, never errors).
+inline constexpr std::string_view kDmaMm2sStall = "dma.mm2s.stall";
+/// AXI DMA MM2S raises IOC before the full length streamed.
+inline constexpr std::string_view kDmaMm2sEarlyIoc = "dma.mm2s.early_ioc";
+/// ICAP drops sync mid-bitstream (remaining words ignored).
+inline constexpr std::string_view kIcapSyncLoss = "icap.sync_loss";
+/// One configuration word is corrupted at the ICAP port (CRC check
+/// at the end of the pass then fails).
+inline constexpr std::string_view kIcapCrcCorrupt = "icap.crc";
+/// One bit of a freshly staged DDR bitstream copy flips.
+inline constexpr std::string_view kStageBitFlip = "stage.bitflip";
+}  // namespace fault_sites
+
+class FaultInjector {
+ public:
+  /// How an armed site decides to fire.
+  struct Plan {
+    u32 count = 1;            // max fires; 0 = unlimited
+    double probability = 1.0; // chance per eligible query
+    u32 skip = 0;             // let this many queries pass first
+  };
+
+  explicit FaultInjector(u64 seed = 1) : seed_(seed) {}
+
+  /// Drop every site and restart all decision streams from `seed`.
+  void reseed(u64 seed) {
+    seed_ = seed;
+    sites_.clear();
+  }
+  u64 seed() const { return seed_; }
+
+  void arm(std::string_view name, const Plan& plan);
+  void arm(std::string_view name, u32 count, double probability = 1.0,
+           u32 skip = 0) {
+    arm(name, Plan{count, probability, skip});
+  }
+  void disarm(std::string_view name);
+  /// Disarm every site (streams and counters survive for reporting).
+  void disarm_all();
+
+  /// One injection decision at `name`. Consumes one step of the site's
+  /// decision stream per eligible query; unarmed sites never fire and
+  /// cost one map lookup.
+  bool should_fire(std::string_view name);
+
+  /// Deterministic auxiliary value in [0, bound) from the site's
+  /// parameter stream (which bit to flip, which beat to abort on...).
+  u64 value(std::string_view name, u64 bound);
+
+  u64 fires(std::string_view name) const;
+  u64 queries(std::string_view name) const;
+  u64 total_fires() const;
+
+  /// (site, fires) pairs in lexicographic site order — a deterministic
+  /// digest for same-seed reproducibility checks.
+  std::vector<std::pair<std::string, u64>> fire_report() const;
+
+ private:
+  struct Site {
+    Plan plan{};
+    bool armed = false;
+    u32 fired = 0;       // fires against the current plan
+    u32 skipped = 0;     // queries skipped against the current plan
+    u64 queries = 0;     // lifetime
+    u64 fires = 0;       // lifetime
+    SplitMix64 decide{0};
+    SplitMix64 aux{0};
+  };
+
+  static u64 fnv1a(std::string_view s) {
+    u64 h = 0xCBF29CE484222325ULL;
+    for (const char c : s) {
+      h ^= static_cast<u8>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+
+  Site& site(std::string_view name);
+
+  u64 seed_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+}  // namespace rvcap::sim

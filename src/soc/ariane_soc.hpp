@@ -91,6 +91,14 @@ class ArianeSoc {
     return cfg_mem_.register_partition(p);
   }
 
+  /// Attach (or detach, with nullptr) a fault injector to every
+  /// instrumented component: SD card, ICAP, and the RV-CAP DMA.
+  void attach_fault_injector(sim::FaultInjector* fi) {
+    sd_.set_fault_injector(fi);
+    icap_.set_fault_injector(fi);
+    if (rvcap_) rvcap_->dma().set_fault_injector(fi);
+  }
+
  private:
   SocConfig cfg_;
   sim::Simulator sim_;

@@ -111,6 +111,13 @@ u8 SdCard::exchange(u8 mosi, bool cs_low) {
         --gap_bytes_;
         return 0xFF;
       }
+      // Injected transient: the start token is never sent, so the
+      // host's bounded token hunt times out for this read.
+      if (fault_ != nullptr &&
+          fault_->should_fire(sim::fault_sites::kSdReadToken)) {
+        state_ = State::kIdle;
+        return 0xFF;
+      }
       // Prepare the data + CRC buffer and emit the start token.
       {
         const u8* src = block(data_lba_);
@@ -122,6 +129,14 @@ u8 SdCard::exchange(u8 mosi, bool cs_low) {
         const u16 crc = crc16({data_buf_.data(), kBlockSize});
         data_buf_[kBlockSize] = static_cast<u8>(crc >> 8);
         data_buf_[kBlockSize + 1] = static_cast<u8>(crc);
+        // Injected transfer corruption: flip a data byte after the CRC
+        // was computed, so the host-side CRC16 check fails.
+        if (fault_ != nullptr &&
+            fault_->should_fire(sim::fault_sites::kSdReadCrc)) {
+          const usize at =
+              fault_->value(sim::fault_sites::kSdReadCrc, kBlockSize);
+          data_buf_[at] ^= 0xFF;
+        }
         data_pos_ = 0;
         state_ = State::kReadData;
         ++blocks_read_;

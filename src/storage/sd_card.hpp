@@ -16,6 +16,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "sim/fault_injector.hpp"
 #include "storage/block_io.hpp"
 
 namespace rvcap::storage {
@@ -33,6 +34,9 @@ class SdCard {
   // ---- backdoor (no protocol, no simulated time) ----
   Status backdoor_read(u32 lba, std::span<u8> buf) const;
   Status backdoor_write(u32 lba, std::span<const u8> buf);
+
+  /// Optional fault injection (sites: sd.read.token, sd.read.crc).
+  void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
 
   /// Lifetime counters for tests.
   u64 blocks_read() const { return blocks_read_; }
@@ -84,6 +88,7 @@ class SdCard {
   u64 blocks_read_ = 0;
   u64 blocks_written_ = 0;
   u64 crc_errors_ = 0;
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 /// Backdoor BlockIo binding over the card (host-side format/tests).

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/bytes.hpp"
 #include "common/hexdump.hpp"
 #include "common/rng.hpp"
@@ -109,6 +111,41 @@ TEST(Status, ToStringCoversAllCodes) {
   EXPECT_EQ(to_string(Status::kDecoupled), "decoupled");
   EXPECT_TRUE(ok(Status::kOk));
   EXPECT_FALSE(ok(Status::kTimeout));
+}
+
+TEST(Status, EveryEnumeratorHasDistinctNonEmptyName) {
+  const Status all[] = {
+      Status::kOk,            Status::kInvalidArgument,
+      Status::kOutOfRange,    Status::kNotFound,
+      Status::kAlreadyExists, Status::kDeviceBusy,
+      Status::kTimeout,       Status::kIoError,
+      Status::kCrcError,      Status::kProtocolError,
+      Status::kNoSpace,       Status::kNotSupported,
+      Status::kDecoupled,     Status::kInternal,
+  };
+  std::set<std::string_view> seen;
+  for (const Status s : all) {
+    const std::string_view name = to_string(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << static_cast<int>(s);
+    EXPECT_TRUE(seen.insert(name).second) << name;  // round-trip unique
+  }
+  EXPECT_EQ(seen.size(), std::size(all));
+}
+
+TEST(Bytes, Crc32MatchesKnownVectors) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  const u8 check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::span<const u8>{}), 0u);
+}
+
+TEST(Bytes, Crc32ChainsIncrementally) {
+  const u8 check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  const auto span = std::span<const u8>(check);
+  u32 crc = crc32(span.first(4));
+  crc = crc32(span.subspan(4), crc);
+  EXPECT_EQ(crc, crc32(span));
 }
 
 TEST(Hexdump, FormatsAsciiGutter) {

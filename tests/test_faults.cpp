@@ -1,0 +1,441 @@
+// Deterministic fault injection + self-healing reconfiguration.
+//
+// Covers the FaultInjector itself (determinism, plans) and the recovery
+// pipeline end to end: for every instrumented site, activation under
+// the default RecoveryPolicy must converge to kOk with the RP coupled
+// to a verified configuration — and when recovery is impossible, the RP
+// must be left decoupled, never coupled to a corrupt partition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bitstream/generator.hpp"
+#include "driver/dpr_manager.hpp"
+#include "driver/hwicap_driver.hpp"
+#include "driver/scrubber.hpp"
+#include "driver/spi_sd.hpp"
+#include "sim/fault_injector.hpp"
+#include "soc/ariane_soc.hpp"
+#include "storage/fat32.hpp"
+
+namespace rvcap {
+namespace {
+
+using driver::DmaMode;
+using driver::DprManager;
+using driver::FailStage;
+using sim::FaultInjector;
+using soc::ArianeSoc;
+using soc::SocConfig;
+namespace sites = sim::fault_sites;
+
+// ---------------------------------------------------------------------
+// FaultInjector unit behaviour
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, UnarmedAndUnknownSitesNeverFire) {
+  FaultInjector fi(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.should_fire("no.such.site"));
+  }
+  EXPECT_EQ(fi.total_fires(), 0u);
+}
+
+TEST(FaultInjector, CountLimitsFires) {
+  FaultInjector fi(7);
+  fi.arm("x", /*count=*/2);
+  u32 fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fi.should_fire("x")) ++fired;
+  }
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(fi.fires("x"), 2u);
+  EXPECT_EQ(fi.queries("x"), 50u);
+}
+
+TEST(FaultInjector, SkipDelaysFirstFire) {
+  FaultInjector fi(7);
+  fi.arm("x", /*count=*/1, /*probability=*/1.0, /*skip=*/3);
+  EXPECT_FALSE(fi.should_fire("x"));
+  EXPECT_FALSE(fi.should_fire("x"));
+  EXPECT_FALSE(fi.should_fire("x"));
+  EXPECT_TRUE(fi.should_fire("x"));
+  EXPECT_FALSE(fi.should_fire("x"));
+}
+
+TEST(FaultInjector, UnlimitedCountKeepsFiring) {
+  FaultInjector fi(7);
+  fi.arm("x", /*count=*/0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(fi.should_fire("x"));
+  }
+}
+
+TEST(FaultInjector, ProbabilityIsSeedDeterministic) {
+  FaultInjector a(42), b(42), c(43);
+  a.arm("p", 0, 0.5);
+  b.arm("p", 0, 0.5);
+  c.arm("p", 0, 0.5);
+  u32 same = 0, diff_seed_same = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool fa = a.should_fire("p");
+    if (fa == b.should_fire("p")) ++same;
+    if (fa == c.should_fire("p")) ++diff_seed_same;
+  }
+  EXPECT_EQ(same, 400u);            // identical seeds agree exactly
+  EXPECT_LT(diff_seed_same, 400u);  // a different seed diverges
+  // Roughly half fire at p=0.5.
+  EXPECT_GT(a.fires("p"), 100u);
+  EXPECT_LT(a.fires("p"), 300u);
+}
+
+TEST(FaultInjector, SiteStreamsAreInterleavingIndependent) {
+  // The decisions at site "a" must not depend on how often other sites
+  // are queried in between.
+  FaultInjector x(9), y(9);
+  x.arm("a", 0, 0.5);
+  y.arm("a", 0, 0.5);
+  y.arm("b", 0, 0.5);
+  std::vector<bool> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(x.should_fire("a"));
+    ys.push_back(y.should_fire("a"));
+    y.should_fire("b");
+    y.should_fire("b");
+  }
+  EXPECT_EQ(xs, ys);
+}
+
+TEST(FaultInjector, ValueIsDeterministicAndBounded) {
+  FaultInjector a(5), b(5);
+  for (int i = 0; i < 64; ++i) {
+    const u64 va = a.value("v", 97);
+    EXPECT_EQ(va, b.value("v", 97));
+    EXPECT_LT(va, 97u);
+  }
+  EXPECT_EQ(a.value("v", 0), 0u);
+}
+
+TEST(FaultInjector, DisarmStopsFiring) {
+  FaultInjector fi(1);
+  fi.arm("x", 0);
+  EXPECT_TRUE(fi.should_fire("x"));
+  fi.disarm("x");
+  EXPECT_FALSE(fi.should_fire("x"));
+  fi.arm("x", 0);
+  fi.arm("y", 0);
+  fi.disarm_all();
+  EXPECT_FALSE(fi.should_fire("x"));
+  EXPECT_FALSE(fi.should_fire("y"));
+}
+
+// ---------------------------------------------------------------------
+// Recovery over pre-staged modules (rp0, DMA/ICAP fault sites)
+// ---------------------------------------------------------------------
+
+struct RecoveryWorld {
+  RecoveryWorld()
+      : soc(make_config()),
+        drv(soc.cpu(), soc.plic()),
+        hwicap_drv(soc.cpu()),
+        scrubber(drv, soc.device(),
+                 driver::Scrubber::Config{0x8C00'0000, 0x8D00'0000}),
+        fi(0x5EED),
+        mgr(drv, soc.config_memory(), soc.rp0_handle(), nullptr) {
+    soc.attach_fault_injector(&fi);
+    mgr.set_fault_injector(&fi);
+    mgr.attach_fallback(&hwicap_drv);
+    mgr.attach_scrubber(&scrubber, &soc.rp0());
+    stage("sobel", accel::kRmIdSobel, 0x8A00'0000);
+    stage("median", accel::kRmIdMedian, 0x8B00'0000);
+  }
+
+  static SocConfig make_config() {
+    SocConfig cfg;
+    cfg.with_hwicap = true;  // fallback path available
+    return cfg;
+  }
+
+  void stage(const char* name, u32 rm_id, Addr addr) {
+    const auto pbit = bitstream::generate_partial_bitstream(
+        soc.device(), soc.rp0(), {rm_id, name});
+    soc.ddr().poke(addr, pbit);
+    ASSERT_EQ(mgr.register_staged(name, rm_id, addr,
+                                  static_cast<u32>(pbit.size())),
+              Status::kOk);
+  }
+
+  bool decoupled() { return soc.rvcap().rp_control().decoupled(); }
+
+  ArianeSoc soc;
+  driver::RvCapDriver drv;
+  driver::HwIcapDriver hwicap_drv;
+  driver::Scrubber scrubber;
+  FaultInjector fi;
+  DprManager mgr;
+};
+
+struct FaultRecoveryFixture : ::testing::Test, RecoveryWorld {};
+
+TEST_F(FaultRecoveryFixture, NoFaultsCleanActivation) {
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().recoveries, 0u);
+  EXPECT_EQ(mgr.journal_events(), 0u);
+}
+
+TEST_F(FaultRecoveryFixture, RecoversFromDmaSlvErr) {
+  fi.arm(sites::kDmaMm2sSlvErr, /*count=*/1);
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_EQ(mgr.active_module(), "sobel");
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().dma_errors, 1u);
+  EXPECT_EQ(mgr.stats().recoveries, 1u);
+  EXPECT_GE(mgr.stats().blank_passes, 1u);
+  EXPECT_EQ(mgr.stats().scrub_verifies, 1u);
+  const auto j = mgr.journal();
+  ASSERT_GE(j.size(), 2u);
+  EXPECT_EQ(j.front().stage, FailStage::kDma);
+  EXPECT_EQ(j.front().status, Status::kIoError);
+  EXPECT_EQ(j.back().stage, FailStage::kRecovered);
+  EXPECT_EQ(j.back().status, Status::kOk);
+}
+
+TEST_F(FaultRecoveryFixture, RecoversFromDmaStallTimeout) {
+  // Shrink the WFI bound so the wedged transfer times out quickly.
+  auto t = drv.timeouts();
+  t.irq_wait_cycles = 3'000'000;
+  drv.set_timeouts(t);
+  fi.arm(sites::kDmaMm2sStall, /*count=*/1);
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().dma_timeouts, 1u);
+  EXPECT_EQ(mgr.stats().recoveries, 1u);
+}
+
+TEST_F(FaultRecoveryFixture, RecoversFromEarlyIoc) {
+  fi.arm(sites::kDmaMm2sEarlyIoc, /*count=*/1);
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().config_failures, 1u);
+  EXPECT_EQ(mgr.stats().recoveries, 1u);
+}
+
+TEST_F(FaultRecoveryFixture, RecoversFromIcapSyncLoss) {
+  fi.arm(sites::kIcapSyncLoss, /*count=*/1);
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_EQ(mgr.active_module(), "sobel");
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().recoveries, 1u);
+}
+
+TEST_F(FaultRecoveryFixture, RecoversFromIcapCrcCorruption) {
+  fi.arm(sites::kIcapCrcCorrupt, /*count=*/1);
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().recoveries, 1u);
+}
+
+TEST_F(FaultRecoveryFixture, FallsBackToHwicapAfterRepeatedDmaFailures) {
+  DprManager::RecoveryPolicy p;
+  p.fallback_after_failures = 1;
+  mgr.set_policy(p);
+  fi.arm(sites::kDmaMm2sSlvErr, /*count=*/0);  // DMA path always fails
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  EXPECT_EQ(mgr.active_module(), "sobel");
+  EXPECT_FALSE(decoupled());
+  EXPECT_EQ(mgr.stats().fallback_reconfigs, 1u);
+  EXPECT_GE(mgr.stats().dma_errors, 1u);
+}
+
+TEST_F(FaultRecoveryFixture, ExhaustedRetriesLeaveRpDecoupled) {
+  DprManager::RecoveryPolicy p;
+  p.hwicap_fallback = false;  // no escape hatch
+  mgr.set_policy(p);
+  fi.arm(sites::kDmaMm2sSlvErr, /*count=*/0);
+  EXPECT_EQ(mgr.activate("sobel"), Status::kIoError);
+  EXPECT_TRUE(decoupled());
+  EXPECT_FALSE(soc.config_memory().partition_state(soc.rp0_handle()).loaded);
+  EXPECT_EQ(mgr.stats().retries_exhausted, 1u);
+  const auto j = mgr.journal();
+  ASSERT_FALSE(j.empty());
+  EXPECT_EQ(j.back().stage, FailStage::kExhausted);
+}
+
+TEST_F(FaultRecoveryFixture, CorruptPinnedImageNeverCouples) {
+  // Flip one byte of the pre-staged image: the golden CRC from
+  // registration no longer matches and there is no SD copy to reload,
+  // so every attempt must be refused before the ICAP sees a word.
+  u8 byte = 0;
+  soc.ddr().peek(0x8A00'0100, std::span(&byte, 1));
+  byte ^= 0xFF;
+  soc.ddr().poke(0x8A00'0100, std::span<const u8>(&byte, 1));
+  EXPECT_EQ(mgr.activate("sobel"), Status::kCrcError);
+  EXPECT_TRUE(decoupled());
+  EXPECT_FALSE(soc.config_memory().partition_state(soc.rp0_handle()).loaded);
+  EXPECT_EQ(mgr.stats().staged_crc_failures, mgr.policy().max_attempts);
+  EXPECT_EQ(mgr.stats().reconfigurations, 0u);
+}
+
+TEST_F(FaultRecoveryFixture, ActivationFailureKeepsPreviousModuleOut) {
+  // A good module is active; switching to another module fails hard.
+  // The RP must end decoupled and blanked, not left on the stale or the
+  // partial configuration.
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  DprManager::RecoveryPolicy p;
+  p.hwicap_fallback = false;
+  mgr.set_policy(p);
+  fi.arm(sites::kDmaMm2sSlvErr, /*count=*/0);
+  EXPECT_EQ(mgr.activate("median"), Status::kIoError);
+  EXPECT_TRUE(decoupled());
+  EXPECT_FALSE(soc.config_memory().partition_state(soc.rp0_handle()).loaded);
+}
+
+TEST_F(FaultRecoveryFixture, SameSeedSameJournal) {
+  // Probabilistic, unlimited faults: whatever sequence of failures,
+  // recoveries, or exhaustion plays out, an identically-seeded world
+  // must reproduce it exactly — statuses, journal, and fire counts.
+  const auto scenario = [](RecoveryWorld& w) {
+    DprManager::RecoveryPolicy p;
+    p.hwicap_fallback = false;       // keep the run on one path
+    p.scrub_after_recovery = false;  // and free of long readback waits
+    w.mgr.set_policy(p);
+    w.fi.arm(sites::kDmaMm2sSlvErr, 0, 0.5);
+    w.fi.arm(sites::kIcapCrcCorrupt, 3, 0.001);
+    std::vector<Status> out;
+    out.push_back(w.mgr.activate("sobel"));
+    out.push_back(w.mgr.activate("median"));
+    return out;
+  };
+  const auto s1 = scenario(*this);
+  const auto j1 = mgr.journal();
+  const auto report1 = fi.fire_report();
+
+  // Fresh, identically-seeded world must reproduce the exact journal.
+  RecoveryWorld other;
+  const auto s2 = scenario(other);
+  const auto j2 = other.mgr.journal();
+
+  EXPECT_EQ(s1, s2);
+  EXPECT_FALSE(j1.empty());  // p=0.5 over many transfers: events occur
+
+  ASSERT_EQ(j1.size(), j2.size());
+  for (usize i = 0; i < j1.size(); ++i) {
+    EXPECT_EQ(j1[i].mtime, j2[i].mtime) << i;
+    EXPECT_EQ(j1[i].stage, j2[i].stage) << i;
+    EXPECT_EQ(j1[i].status, j2[i].status) << i;
+    EXPECT_EQ(j1[i].rm_id, j2[i].rm_id) << i;
+    EXPECT_EQ(j1[i].attempt, j2[i].attempt) << i;
+  }
+  EXPECT_EQ(report1, other.fi.fire_report());
+}
+
+// ---------------------------------------------------------------------
+// Recovery over SD-backed modules (staging fault sites)
+// ---------------------------------------------------------------------
+
+struct SdFaultFixture : ::testing::Test {
+  SdFaultFixture()
+      : soc(SocConfig{}),
+        drv(soc.cpu(), soc.plic()),
+        small("RPA", {{0, 2}}),
+        host_io(soc.sd_card()),
+        fi(0xF00D) {
+    handle = soc.add_partition(small);
+    EXPECT_EQ(storage::fat32_format(host_io), Status::kOk);
+    storage::Fat32Volume host_vol(host_io);
+    EXPECT_EQ(host_vol.mount(), Status::kOk);
+    for (u32 id : {60u, 61u}) {
+      const auto pbit = bitstream::generate_partial_bitstream(
+          soc.device(), small, {id, "m"});
+      EXPECT_EQ(host_vol.write_file("M" + std::to_string(id) + ".PB", pbit),
+                Status::kOk);
+    }
+
+    sd = std::make_unique<driver::SpiSdDriver>(soc.cpu());
+    EXPECT_EQ(sd->init_card(), Status::kOk);
+    io = std::make_unique<driver::CpuBlockIo>(*sd,
+                                              soc.sd_card().block_count());
+    vol = std::make_unique<storage::Fat32Volume>(*io);
+    EXPECT_EQ(vol->mount(), Status::kOk);
+
+    DprManager::Config cfg;
+    cfg.num_slots = 2;
+    cfg.slot_bytes = 64 * 1024;
+    mgr = std::make_unique<DprManager>(drv, soc.config_memory(), handle,
+                                       vol.get(), cfg);
+    for (u32 id : {60u, 61u}) {
+      EXPECT_EQ(mgr->register_module("m" + std::to_string(id), id,
+                                     "M" + std::to_string(id) + ".PB"),
+                Status::kOk);
+    }
+    // Faults armed per test; attach after host-side setup so formatting
+    // traffic is not subject to injection.
+    soc.attach_fault_injector(&fi);
+    mgr->set_fault_injector(&fi);
+  }
+
+  ArianeSoc soc;
+  driver::RvCapDriver drv;
+  fabric::Partition small;
+  usize handle = 0;
+  storage::MemBlockIo host_io;
+  FaultInjector fi;
+  std::unique_ptr<driver::SpiSdDriver> sd;
+  std::unique_ptr<driver::CpuBlockIo> io;
+  std::unique_ptr<storage::Fat32Volume> vol;
+  std::unique_ptr<DprManager> mgr;
+};
+
+TEST_F(SdFaultFixture, SdTokenDropRecoveredByDriverRetry) {
+  fi.arm(sim::fault_sites::kSdReadToken, /*count=*/1);
+  ASSERT_EQ(mgr->activate("m60"), Status::kOk);
+  EXPECT_GE(sd->reads_recovered(), 1u);
+  // Transparent to the manager: no journal event, no manager retry.
+  EXPECT_EQ(mgr->journal_events(), 0u);
+}
+
+TEST_F(SdFaultFixture, SdCrcCorruptionRecoveredByDriverRetry) {
+  fi.arm(sim::fault_sites::kSdReadCrc, /*count=*/1);
+  ASSERT_EQ(mgr->activate("m60"), Status::kOk);
+  EXPECT_GE(sd->reads_recovered(), 1u);
+}
+
+TEST_F(SdFaultFixture, StagedBitFlipCaughtByCrcAndReloaded) {
+  fi.arm(sim::fault_sites::kStageBitFlip, /*count=*/1);
+  ASSERT_EQ(mgr->activate("m60"), Status::kOk);
+  EXPECT_EQ(mgr->active_module(), "m60");
+  EXPECT_EQ(mgr->stats().staged_crc_failures, 1u);
+  EXPECT_EQ(mgr->stats().staging_loads, 2u);  // corrupt load + reload
+  EXPECT_EQ(mgr->stats().recoveries, 1u);
+  const auto j = mgr->journal();
+  ASSERT_GE(j.size(), 2u);
+  EXPECT_EQ(j.front().stage, FailStage::kStagedCrc);
+  EXPECT_EQ(j.back().stage, FailStage::kRecovered);
+}
+
+TEST_F(SdFaultFixture, BlockingModeDetectsDmaError) {
+  fi.arm(sim::fault_sites::kDmaMm2sSlvErr, /*count=*/1);
+  ASSERT_EQ(mgr->activate("m60", DmaMode::kBlocking), Status::kOk);
+  EXPECT_EQ(mgr->stats().dma_errors, 1u);
+  EXPECT_EQ(mgr->stats().recoveries, 1u);
+}
+
+// to_string coverage for the recovery-stage enum.
+TEST(FailStageNames, AllDistinctAndNonEmpty) {
+  const FailStage all[] = {
+      FailStage::kStaging,   FailStage::kStagedCrc, FailStage::kDma,
+      FailStage::kIcap,      FailStage::kActivate,  FailStage::kScrub,
+      FailStage::kBlank,     FailStage::kRecovered, FailStage::kExhausted,
+  };
+  std::set<std::string_view> seen;
+  for (const FailStage s : all) {
+    const auto name = driver::to_string(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(seen.insert(name).second) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rvcap
