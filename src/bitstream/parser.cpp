@@ -78,7 +78,12 @@ Status parse_bitstream(std::span<const u8> bytes, ParsedBitstream* out) {
             i = n;  // stop: trailing NOPs only
           }
           break;
-        default:
+        case ConfigReg::kFdro:
+        case ConfigReg::kCtl0:
+        case ConfigReg::kMask:
+        case ConfigReg::kStat:
+        case ConfigReg::kCor0:
+        default:  // default keeps reg values outside the enum covered
           crc.update(reg, data);
           break;
       }

@@ -1,0 +1,53 @@
+#include "bitstream/preflight.hpp"
+
+namespace rvcap::bitstream {
+
+PreflightReport preflight_check(std::span<const u8> bytes,
+                                const fabric::DeviceGeometry& dev,
+                                const fabric::Partition& part,
+                                u32 expected_idcode) {
+  PreflightReport r;
+  ParsedBitstream parsed;
+  if (auto st = parse_bitstream(bytes, &parsed); !ok(st)) {
+    r.status = Status::kProtocolError;
+    r.reason = "malformed packet framing";
+    return r;
+  }
+  if (!parsed.saw_sync) {
+    r.status = Status::kProtocolError;
+    r.reason = "missing sync word";
+    return r;
+  }
+  if (parsed.idcode != expected_idcode) {
+    r.status = Status::kInvalidArgument;
+    r.reason = "IDCODE does not match the device";
+    return r;
+  }
+  if (parsed.sections.empty()) {
+    r.status = Status::kProtocolError;
+    r.reason = "no configuration payload";
+    return r;
+  }
+
+  // Walk every frame each FDRI section would write, in configuration
+  // order, and require it to land inside the target RP's floorplan.
+  for (const ParsedSection& sec : parsed.sections) {
+    fabric::FrameAddr fa = sec.start;
+    for (u32 i = 0; i < sec.frame_count; ++i) {
+      if (!dev.valid(fa) || !part.contains(dev, fa)) {
+        r.status = Status::kOutOfRange;
+        r.reason = "frame address outside the target partition";
+        return r;
+      }
+      ++r.frames;
+      if (i + 1 < sec.frame_count && !dev.next_frame(&fa)) {
+        r.status = Status::kOutOfRange;
+        r.reason = "frame range runs past the end of the device";
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace rvcap::bitstream

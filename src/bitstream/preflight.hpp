@@ -1,0 +1,39 @@
+// Pre-flight admission validation of a staged partial bitstream.
+//
+// The self-healing pipeline (PR 1) catches configuration faults after
+// they happen — mid-transfer, at the cost of a DMA transfer, a cleanup
+// pass and usually a blanking pass. Admission control is cheaper: the
+// staged DDR image is parsed offline BEFORE a single word reaches the
+// ICAP, and an image that could never configure the target partition
+// (bad sync framing, wrong device IDCODE, frame addresses outside the
+// RP's floorplan) is rejected outright. A malicious or mis-targeted
+// bitstream is therefore stopped while the fabric is still untouched.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "bitstream/parser.hpp"
+#include "common/status.hpp"
+#include "fabric/geometry.hpp"
+
+namespace rvcap::bitstream {
+
+/// Verdict of a pre-flight check.
+struct PreflightReport {
+  Status status = Status::kOk;   // kOk = admissible
+  std::string_view reason;       // human-readable rejection cause
+  u32 frames = 0;                // frames the image would configure
+};
+
+/// Validate `bytes` (a staged partial bitstream) against the device and
+/// the target partition. Pure software — no bus traffic, no ICAP words.
+/// Rejections map to: kProtocolError (framing / missing sync word),
+/// kInvalidArgument (IDCODE does not match the device),
+/// kOutOfRange (a configured frame lies outside the partition).
+PreflightReport preflight_check(std::span<const u8> bytes,
+                                const fabric::DeviceGeometry& dev,
+                                const fabric::Partition& part,
+                                u32 expected_idcode);
+
+}  // namespace rvcap::bitstream

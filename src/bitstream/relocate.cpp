@@ -114,7 +114,14 @@ Status relocate_bitstream(const fabric::DeviceGeometry& dev,
           crc.update(h.reg, data);
           if (static_cast<Cmd>(data) == Cmd::kRcrc) crc.reset();
           break;
-        default:
+        case ConfigReg::kFdri:
+        case ConfigReg::kFdro:
+        case ConfigReg::kCtl0:
+        case ConfigReg::kMask:
+        case ConfigReg::kStat:
+        case ConfigReg::kCor0:
+        case ConfigReg::kIdcode:
+        default:  // default keeps reg values outside the enum covered
           crc.update(h.reg, data);
           break;
       }

@@ -23,6 +23,12 @@ enum class Status {
   kNotSupported,
   kDecoupled,       // access to a decoupled reconfigurable partition
   kInternal,
+  // ---- reconfiguration-service request lifecycle ----
+  kRejected,        // shed by admission control (queue saturated)
+  kDeadlineMissed,  // deadline expired before the transfer could start
+  kCancelled,       // client withdrew the request while queued
+  kQuarantined,     // image failed pre-flight before; never re-staged
+  kHang,            // watchdog declared the transfer wedged (no progress)
 };
 
 constexpr std::string_view to_string(Status s) {
@@ -41,6 +47,11 @@ constexpr std::string_view to_string(Status s) {
     case Status::kNotSupported: return "not_supported";
     case Status::kDecoupled: return "decoupled";
     case Status::kInternal: return "internal";
+    case Status::kRejected: return "rejected";
+    case Status::kDeadlineMissed: return "deadline_missed";
+    case Status::kCancelled: return "cancelled";
+    case Status::kQuarantined: return "quarantined";
+    case Status::kHang: return "hang";
   }
   return "unknown";
 }

@@ -264,6 +264,8 @@ Status DprManager::activate(std::string_view name, DmaMode mode) {
         ++consecutive_dma_failures_;
         if (s == Status::kTimeout) {
           ++stats_.dma_timeouts;
+        } else if (s == Status::kHang) {
+          ++stats_.dma_hangs;
         } else {
           ++stats_.dma_errors;
         }
@@ -328,6 +330,29 @@ Status DprManager::activate(std::string_view name, DmaMode mode) {
   ++stats_.retries_exhausted;
   record(FailStage::kExhausted, last, m->rm_id, attempts);
   return last;
+}
+
+bool DprManager::has_module(std::string_view name) const {
+  for (const Module& m : modules_) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+Status DprManager::staged_image(std::string_view name, StagedInfo* out) {
+  Module* m = find(name);
+  if (m == nullptr) return Status::kNotFound;
+  if (auto st = ensure_staged(*m); !ok(st)) return st;
+  out->addr = m->staged_addr;
+  out->bytes = m->pbit_size;
+  out->rm_id = m->rm_id;
+  return Status::kOk;
+}
+
+void DprManager::discard_staged(std::string_view name) {
+  Module* m = find(name);
+  if (m == nullptr || m->pinned) return;
+  unstage(*m);
 }
 
 std::string DprManager::active_module() const {

@@ -86,6 +86,7 @@ class DprManager {
     u64 staged_crc_failures = 0;   // DDR image CRC mismatches
     u64 dma_errors = 0;            // DMA transfer errors (SLVERR etc.)
     u64 dma_timeouts = 0;          // DMA transfer timeouts (stalls)
+    u64 dma_hangs = 0;             // transfers aborted by a watchdog
     u64 config_failures = 0;       // transfer ok but partition inactive
     u64 scrub_failures = 0;        // post-recovery verify mismatches
     u64 recoveries = 0;            // activations that needed a retry
@@ -120,6 +121,31 @@ class DprManager {
 
   /// Name of the module currently active (empty when none/unknown).
   std::string active_module() const;
+
+  /// Metadata of a module's staged DDR image. Stages the image first
+  /// when it is not resident, so callers (admission preflight) can
+  /// parse the exact bytes a subsequent activate() would stream.
+  struct StagedInfo {
+    Addr addr = 0;
+    u32 bytes = 0;
+    u32 rm_id = 0;
+  };
+  Status staged_image(std::string_view name, StagedInfo* out);
+
+  /// Whether a module was registered under `name`.
+  bool has_module(std::string_view name) const;
+
+  /// Drop a module's staged image (quarantine support; no-op for
+  /// pinned pre-staged modules, which have no backing file to reload).
+  void discard_staged(std::string_view name);
+
+  /// The underlying Listing-1 driver (watchdog installation point).
+  RvCapDriver& driver() { return drv_; }
+  /// The partition behind this manager's RP handle (floorplan checks).
+  const fabric::Partition& partition() const {
+    return cfg_.partition(rp_handle_);
+  }
+  const fabric::DeviceGeometry& device() const { return cfg_.device(); }
 
   void set_policy(const RecoveryPolicy& p) { policy_ = p; }
   const RecoveryPolicy& policy() const { return policy_; }

@@ -35,8 +35,9 @@ u32 HwIcapDriver::read_fifo_vacancy() {
   return cpu_.load32_uncached(base_ + HwIcap::kWfv);
 }
 
-Status HwIcapDriver::icap_done() {
-  for (u32 i = 0; i < timeouts_.done_poll_iters; ++i) {
+Status HwIcapDriver::icap_done(u32 flushed_words) {
+  const u32 bound = timeouts_.done_bound(flushed_words);
+  for (u32 i = 0; i < bound; ++i) {
     if (cpu_.load32_uncached(base_ + HwIcap::kSr) & HwIcap::kSrDone) {
       return Status::kOk;
     }
@@ -48,6 +49,7 @@ Status HwIcapDriver::reconfigure_RP(Addr data, u32 pbit_size) {
   cpu_.spend_call_overhead();
   const u32 total_words = pbit_size / 4;
   u32 done_words = 0;
+  if (monitor_ != nullptr) monitor_->on_start(total_words);
 
   // Cached staging chunk the words are loaded through (the bitstream
   // data itself streams through the D$; the keyhole stores dominate).
@@ -68,9 +70,19 @@ Status HwIcapDriver::reconfigure_RP(Addr data, u32 pbit_size) {
   };
 
   while (done_words < total_words) {
+    // Keyhole progress probe: words written so far stand in for the
+    // DMA path's beat counter (one probe per FIFO-sized flush).
+    if (monitor_ != nullptr) {
+      TransferProgress p;
+      p.beats = done_words;
+      p.status = cpu_.load32_uncached(base_ + HwIcap::kSr);
+      p.mtime = timer_.read_mtime();
+      if (!monitor_->on_poll(p)) return Status::kHang;
+    }
     // read_fifo_vac(): how many words fit before the next flush.
     u32 vacancy = read_fifo_vacancy();
     u32 n = std::min(vacancy, total_words - done_words);
+    const u32 round_words = n;
 
     // Unrolled keyhole store loop: one loop-control stall per U words.
     while (n >= unroll_) {
@@ -89,7 +101,7 @@ Status HwIcapDriver::reconfigure_RP(Addr data, u32 pbit_size) {
     // write_to_icap(): flush the FIFO into the ICAPE primitive.
     cpu_.store32_uncached(base_ + HwIcap::kCr, HwIcap::kCrWrite);
     // icap_done(): wait for the configuration step to finish.
-    if (auto st = icap_done(); !ok(st)) return st;
+    if (auto st = icap_done(round_words); !ok(st)) return st;
   }
   return Status::kOk;
 }
@@ -100,12 +112,15 @@ Status HwIcapDriver::readback(const fabric::FrameAddr& start,
   cpu_.spend_call_overhead();
 
   // Request half through the keyhole; the port turns around after it.
-  for (const u32 w : bitstream::build_readback_request(
-           start, static_cast<u32>(out.size()))) {
+  const auto request =
+      bitstream::build_readback_request(start, static_cast<u32>(out.size()));
+  for (const u32 w : request) {
     cpu_.store32_uncached(base_ + HwIcap::kWf, w);
   }
   cpu_.store32_uncached(base_ + HwIcap::kCr, HwIcap::kCrWrite);
-  if (auto st = icap_done(); !ok(st)) return st;
+  if (auto st = icap_done(static_cast<u32>(request.size())); !ok(st)) {
+    return st;
+  }
 
   // Capture: SZ words into the read FIFO, drained via RF.
   usize got = 0;
@@ -125,15 +140,16 @@ Status HwIcapDriver::readback(const fabric::FrameAddr& start,
       if (!ready) return Status::kTimeout;
       out[got++] = cpu_.load32_uncached(base_ + HwIcap::kRf);
     }
-    if (auto st = icap_done(); !ok(st)) return st;
+    if (auto st = icap_done(chunk); !ok(st)) return st;
   }
 
   // Trailer: desynchronize the port again.
-  for (const u32 w : bitstream::build_readback_trailer()) {
+  const auto trailer = bitstream::build_readback_trailer();
+  for (const u32 w : trailer) {
     cpu_.store32_uncached(base_ + HwIcap::kWf, w);
   }
   cpu_.store32_uncached(base_ + HwIcap::kCr, HwIcap::kCrWrite);
-  return icap_done();
+  return icap_done(static_cast<u32>(trailer.size()));
 }
 
 Status HwIcapDriver::init_reconfig_process(const ReconfigModule& m,

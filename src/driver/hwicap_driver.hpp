@@ -7,6 +7,7 @@
 #include <span>
 
 #include "cpu/cpu.hpp"
+#include "driver/progress.hpp"
 #include "driver/reconfig_module.hpp"
 #include "driver/timer.hpp"
 #include "fabric/geometry.hpp"
@@ -21,11 +22,24 @@ class HwIcapDriver {
     double reconfig_us() const { return TimerDriver::ticks_to_us(reconfig_ticks); }
   };
 
-  /// Poll bounds for the driver's blocking loops (defaults match the
-  /// historical hard-coded values; tests shrink them).
+  /// Poll bounds for the driver's blocking loops. done_poll_iters
+  /// defaults to 0 = "derive from the number of words just flushed":
+  /// the ICAPE consumes roughly a word per cycle while each poll
+  /// iteration costs an uncached-read round trip, so floor + words x
+  /// slack bounds any healthy flush with orders-of-magnitude margin.
+  /// A non-zero field overrides the derivation (tests shrink it).
   struct Timeouts {
-    u32 done_poll_iters = 1'000'000;  // SR.Done poll after a CR write
-    u32 rfo_poll_iters = 100'000;     // read-FIFO-occupancy poll
+    u32 done_poll_iters = 0;       // SR.Done poll after a CR write
+    u32 rfo_poll_iters = 100'000;  // read-FIFO-occupancy poll
+
+    u32 done_iters_floor = 5'000;  // covers CR latency + tiny flushes
+    u32 done_iters_per_word = 16;
+
+    u32 done_bound(u32 words) const {
+      if (done_poll_iters != 0) return done_poll_iters;
+      const u64 v = u64{done_iters_floor} + u64{words} * done_iters_per_word;
+      return v > 0xFFFF'FFFFull ? 0xFFFF'FFFFu : static_cast<u32>(v);
+    }
   };
 
   void set_timeouts(const Timeouts& t) { timeouts_ = t; }
@@ -64,9 +78,14 @@ class HwIcapDriver {
 
   const Timing& last_timing() const { return timing_; }
 
+  /// Install a ProgressMonitor observing the keyhole transfer loop
+  /// (progress counter = words written so far); nullptr detaches.
+  void set_progress_monitor(ProgressMonitor* m) { monitor_ = m; }
+  ProgressMonitor* progress_monitor() const { return monitor_; }
+
  private:
   u32 read_fifo_vacancy();
-  Status icap_done();  // poll SR until the flush completes
+  Status icap_done(u32 flushed_words);  // poll SR until the flush completes
 
   cpu::CpuContext& cpu_;
   u32 unroll_;
@@ -75,6 +94,7 @@ class HwIcapDriver {
   TimerDriver timer_;
   Timing timing_;
   Timeouts timeouts_;
+  ProgressMonitor* monitor_ = nullptr;
 };
 
 }  // namespace rvcap::driver

@@ -1,0 +1,309 @@
+#include "driver/reconfig_service.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "bitstream/preflight.hpp"
+#include "common/log.hpp"
+#include "soc/service_regs.hpp"
+
+namespace rvcap::driver {
+
+ReconfigService::ReconfigService(DprManager& mgr, const Config& cfg)
+    : mgr_(mgr), cfg_(cfg) {}
+
+ReconfigService::RequestRecord* ReconfigService::find(RequestId id) {
+  if (id == 0 || id > records_.size()) return nullptr;
+  return &records_[id - 1];
+}
+
+const ReconfigService::RequestRecord* ReconfigService::record(
+    RequestId id) const {
+  if (id == 0 || id > records_.size()) return nullptr;
+  return &records_[id - 1];
+}
+
+usize ReconfigService::queue_depth() const {
+  usize n = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.state == RequestState::kQueued) ++n;
+  }
+  return n;
+}
+
+bool ReconfigService::quarantined(std::string_view module) const {
+  return std::find(quarantine_.begin(), quarantine_.end(), module) !=
+         quarantine_.end();
+}
+
+void ReconfigService::finish(RequestRecord& r, RequestState state,
+                             Status status) {
+  r.state = state;
+  r.status = status;
+  r.done_mtime = mgr_.driver().mtime();
+}
+
+void ReconfigService::publish_stats() {
+  if (cfg_.mailbox_base == 0) return;
+  cpu::CpuContext& cpu = mgr_.driver().cpu_context();
+  const Addr b = cfg_.mailbox_base;
+  using soc::ServiceRegs;
+  cpu.store32_uncached(b + ServiceRegs::kSubmitted,
+                       static_cast<u32>(stats_.submitted));
+  cpu.store32_uncached(b + ServiceRegs::kAccepted,
+                       static_cast<u32>(stats_.accepted));
+  cpu.store32_uncached(b + ServiceRegs::kCompleted,
+                       static_cast<u32>(stats_.completed));
+  cpu.store32_uncached(b + ServiceRegs::kFailed,
+                       static_cast<u32>(stats_.failed));
+  cpu.store32_uncached(b + ServiceRegs::kShed, static_cast<u32>(stats_.shed));
+  cpu.store32_uncached(b + ServiceRegs::kRejectedFull,
+                       static_cast<u32>(stats_.rejected_full));
+  cpu.store32_uncached(b + ServiceRegs::kDeadlineMissed,
+                       static_cast<u32>(stats_.deadline_missed));
+  cpu.store32_uncached(b + ServiceRegs::kCancelled,
+                       static_cast<u32>(stats_.cancelled));
+  cpu.store32_uncached(b + ServiceRegs::kCoalesced,
+                       static_cast<u32>(stats_.coalesced));
+  cpu.store32_uncached(b + ServiceRegs::kQuarantineRejects,
+                       static_cast<u32>(stats_.quarantine_rejects));
+  cpu.store32_uncached(b + ServiceRegs::kPreflightRejects,
+                       static_cast<u32>(stats_.preflight_rejects));
+  cpu.store32_uncached(b + ServiceRegs::kHangs,
+                       static_cast<u32>(stats_.hangs));
+  cpu.store32_uncached(b + ServiceRegs::kQueueDepth,
+                       static_cast<u32>(queue_depth()));
+  cpu.store32_uncached(b + ServiceRegs::kMaxQueueDepth,
+                       static_cast<u32>(stats_.max_queue_depth));
+}
+
+Status ReconfigService::preflight(const ActivationRequest& req) {
+  DprManager::StagedInfo info;
+  if (auto st = mgr_.staged_image(req.module, &info); !ok(st)) return st;
+
+  // Pull the staged image out of DDR and validate it offline. The copy
+  // costs cached burst reads — simulated time, but zero ICAP traffic.
+  std::vector<u8> bytes(info.bytes);
+  mgr_.driver().cpu_context().read_buffer(info.addr, bytes);
+  const auto report = bitstream::preflight_check(
+      bytes, mgr_.device(), mgr_.partition(), cfg_.expected_idcode);
+  if (!ok(report.status)) {
+    log_warn("reconfig_service: preflight rejected ", req.module, ": ",
+             report.reason);
+    ++stats_.preflight_rejects;
+    quarantine_.emplace_back(req.module);
+    // Drop the staged copy: a quarantined image must not occupy a slot,
+    // and must never be re-staged on a resubmit.
+    mgr_.discard_staged(req.module);
+    return Status::kRejected;
+  }
+  return Status::kOk;
+}
+
+Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
+  ++stats_.submitted;
+  if (!mgr_.has_module(req.module)) return Status::kNotFound;
+
+  auto make_record = [&](RequestState state, Status status) -> RequestRecord& {
+    RequestRecord r;
+    r.id = next_id_++;
+    r.req = req;
+    r.submit_mtime = mgr_.driver().mtime();
+    r.state = state;
+    r.status = status;
+    if (state != RequestState::kQueued) r.done_mtime = r.submit_mtime;
+    records_.push_back(std::move(r));
+    if (id != nullptr) *id = records_.back().id;
+    return records_.back();
+  };
+
+  // Quarantine fast-fail: a module that failed preflight before is
+  // refused without touching the staging cache or the volume.
+  if (quarantined(req.module)) {
+    ++stats_.quarantine_rejects;
+    make_record(RequestState::kRejected, Status::kQuarantined);
+    publish_stats();
+    return Status::kQuarantined;
+  }
+
+  // Already-expired deadline: never admit work that cannot finish.
+  if (req.deadline_mtime != 0 &&
+      mgr_.driver().mtime() > req.deadline_mtime) {
+    ++stats_.deadline_missed;
+    make_record(RequestState::kDeadlineMissed, Status::kDeadlineMissed);
+    publish_stats();
+    return Status::kDeadlineMissed;
+  }
+
+  // Pre-flight parse of the staged image (stages it on a miss).
+  if (cfg_.preflight) {
+    if (auto st = preflight(req); !ok(st)) {
+      make_record(RequestState::kRejected, st);
+      publish_stats();
+      return st == Status::kRejected ? Status::kRejected : st;
+    }
+  }
+
+  // Coalesce with a queued request for the same module: the survivor
+  // inherits the higher priority and the tighter deadline.
+  for (RequestRecord& q : records_) {
+    if (q.state != RequestState::kQueued || q.req.module != req.module) {
+      continue;
+    }
+    q.req.priority = std::max(q.req.priority, req.priority);
+    if (req.deadline_mtime != 0 &&
+        (q.req.deadline_mtime == 0 ||
+         req.deadline_mtime < q.req.deadline_mtime)) {
+      q.req.deadline_mtime = req.deadline_mtime;
+    }
+    ++stats_.coalesced;
+    const RequestId parent = q.id;
+    RequestRecord& r = make_record(RequestState::kCoalesced, Status::kOk);
+    r.merged_into = parent;
+    publish_stats();
+    return Status::kOk;
+  }
+
+  // Saturation: shed the lowest-priority queued entry if the arrival
+  // outranks it, otherwise refuse the arrival itself.
+  if (queue_depth() >= cfg_.queue_capacity) {
+    RequestRecord* victim = nullptr;
+    for (RequestRecord& q : records_) {
+      if (q.state != RequestState::kQueued) continue;
+      if (victim == nullptr || q.req.priority < victim->req.priority ||
+          (q.req.priority == victim->req.priority && q.id > victim->id)) {
+        victim = &q;
+      }
+    }
+    if (victim == nullptr || req.priority <= victim->req.priority) {
+      ++stats_.rejected_full;
+      make_record(RequestState::kRejected, Status::kRejected);
+      publish_stats();
+      return Status::kRejected;
+    }
+    ++stats_.shed;
+    finish(*victim, RequestState::kShed, Status::kRejected);
+  }
+
+  RequestRecord& r = make_record(RequestState::kQueued, Status::kOk);
+  (void)r;
+  ++stats_.accepted;
+  stats_.max_queue_depth = std::max<u64>(stats_.max_queue_depth,
+                                         queue_depth());
+  publish_stats();
+  return Status::kOk;
+}
+
+Status ReconfigService::cancel(RequestId id) {
+  RequestRecord* r = find(id);
+  if (r == nullptr) return Status::kNotFound;
+  if (r->state == RequestState::kActive) return Status::kDeviceBusy;
+  if (r->state != RequestState::kQueued) return Status::kInvalidArgument;
+  ++stats_.cancelled;
+  finish(*r, RequestState::kCancelled, Status::kCancelled);
+  publish_stats();
+  return Status::kOk;
+}
+
+ReconfigService::RequestRecord* ReconfigService::best_queued() {
+  RequestRecord* best = nullptr;
+  for (RequestRecord& r : records_) {
+    if (r.state != RequestState::kQueued) continue;
+    if (best == nullptr) {
+      best = &r;
+      continue;
+    }
+    if (r.req.priority != best->req.priority) {
+      if (r.req.priority > best->req.priority) best = &r;
+      continue;
+    }
+    const u64 rd = r.req.deadline_mtime == 0 ? ~u64{0} : r.req.deadline_mtime;
+    const u64 bd = best->req.deadline_mtime == 0 ? ~u64{0}
+                                                 : best->req.deadline_mtime;
+    if (rd != bd) {
+      if (rd < bd) best = &r;
+      continue;
+    }
+    if (r.id < best->id) best = &r;
+  }
+  return best;
+}
+
+bool ReconfigService::step() {
+  RequestRecord* r = best_queued();
+  if (r == nullptr) return false;
+
+  const u64 now = mgr_.driver().mtime();
+  if (r->req.deadline_mtime != 0 && now > r->req.deadline_mtime) {
+    // Expired while queued: skip without touching the hardware.
+    ++stats_.deadline_missed;
+    finish(*r, RequestState::kDeadlineMissed, Status::kDeadlineMissed);
+    publish_stats();
+    return true;
+  }
+
+  r->state = RequestState::kActive;
+  r->start_mtime = now;
+  active_ = r->id;
+
+  // The service doubles as the transfer watchdog for the dispatch.
+  RvCapDriver& drv = mgr_.driver();
+  ProgressMonitor* const prev = drv.progress_monitor();
+  drv.set_progress_monitor(this);
+  const Status s = mgr_.activate(r->req.module, cfg_.mode);
+  drv.set_progress_monitor(prev);
+  active_ = 0;
+
+  if (ok(s)) {
+    ++stats_.completed;
+    finish(*r, RequestState::kCompleted, Status::kOk);
+  } else {
+    ++stats_.failed;
+    finish(*r, RequestState::kFailed, s);
+  }
+  publish_stats();
+  return true;
+}
+
+usize ReconfigService::drain() {
+  usize n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+void ReconfigService::on_start(u64 expected_beats) {
+  wd_expected_beats_ = expected_beats;
+  wd_last_beats_ = 0;
+  wd_stalled_polls_ = 0;
+  wd_tripped_ = false;
+}
+
+bool ReconfigService::on_poll(const TransferProgress& p) {
+  if (p.beats != wd_last_beats_) {
+    // Progress (or a new job's counter reset): the engine is alive.
+    wd_last_beats_ = p.beats;
+    wd_stalled_polls_ = 0;
+    return true;
+  }
+  if (++wd_stalled_polls_ < cfg_.watchdog_stall_polls) return true;
+
+  // Counter frozen across N probes: declare the transfer wedged and
+  // abort the wait. The driver returns kHang; the DprManager's recovery
+  // state machine takes it from there (cleanup, blank, retry/fallback).
+  ++stats_.hangs;
+  wd_tripped_ = true;
+  HangDiagnosis d;
+  d.mtime = p.mtime;
+  d.request = active_;
+  d.snapshot = p;
+  d.expected_beats = wd_expected_beats_;
+  d.outstanding_beats =
+      wd_expected_beats_ > p.beats ? wd_expected_beats_ - p.beats : 0;
+  d.polls_without_progress = wd_stalled_polls_;
+  hangs_.push_back(d);
+  log_warn("reconfig_service: watchdog hang, beats frozen at ", p.beats,
+           " of ", wd_expected_beats_);
+  return false;
+}
+
+}  // namespace rvcap::driver

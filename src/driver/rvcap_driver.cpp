@@ -2,6 +2,7 @@
 
 #include "bitstream/readback.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -125,25 +126,52 @@ Status RvCapDriver::reconfigure_RP(Addr data, u32 pbit_size, DmaMode mode) {
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSaMsb,
                         static_cast<u32>(data >> 32));
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength, pbit_size);
-  return wait_mm2s_done(mode);
+  return wait_mm2s_done(mode, pbit_size);
 }
 
-Status RvCapDriver::wait_mm2s_done(DmaMode mode) {
+TransferProgress RvCapDriver::probe_mm2s() {
+  TransferProgress p;
+  p.beats = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sBeats);
+  p.status = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
+  p.rp_status = cpu_.load32_uncached(rp_base_ + RpControl::kStatus);
+  p.mtime = timer_.read_mtime();
+  return p;
+}
+
+Status RvCapDriver::wait_mm2s_done(DmaMode mode, u64 bytes) {
+  if (monitor_ != nullptr) monitor_->on_start((bytes + 7) / 8);
   if (mode == DmaMode::kInterrupt) {
-    const u32 src = cpu_.wait_for_irq(plic_, plic_base_ +
-                                                irq::Plic::kClaimComplete,
-                                      timeouts_.irq_wait_cycles);
-    if (src == 0) return Status::kTimeout;
-    // Acknowledge at the DMA (W1C) and complete at the PLIC.
-    const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
-    cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr,
-                          AxiDma::kSrIocIrq | AxiDma::kSrErrIrq);
-    cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src);
-    if (sr & AxiDma::kSrErrMask) return Status::kIoError;
-    return Status::kOk;
+    u64 budget = timeouts_.irq_bound(bytes);
+    while (true) {
+      // With a monitor installed, sleep in watchdog-interval slices and
+      // probe progress between them; otherwise one WFI for the bound.
+      const u64 slice =
+          monitor_ != nullptr
+              ? std::min<u64>(budget, monitor_->poll_interval_cycles())
+              : budget;
+      const u32 src = cpu_.wait_for_irq(
+          plic_, plic_base_ + irq::Plic::kClaimComplete, slice);
+      if (src != 0) {
+        // Acknowledge at the DMA (W1C) and complete at the PLIC.
+        const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
+        cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr,
+                              AxiDma::kSrIocIrq | AxiDma::kSrErrIrq);
+        cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src);
+        if (sr & AxiDma::kSrErrMask) return Status::kIoError;
+        return Status::kOk;
+      }
+      budget -= slice;
+      if (monitor_ != nullptr && !monitor_->on_poll(probe_mm2s())) {
+        return Status::kHang;
+      }
+      if (budget == 0) return Status::kTimeout;
+    }
   }
   // Blocking: poll the status register's IOC bit.
-  for (u32 i = 0; i < timeouts_.mm2s_poll_iters; ++i) {
+  const u32 bound = timeouts_.mm2s_bound(bytes);
+  Cycles next_probe =
+      monitor_ != nullptr ? cpu_.now() + monitor_->poll_interval_cycles() : 0;
+  for (u32 i = 0; i < bound; ++i) {
     const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kMm2sSr);
     if (sr & AxiDma::kSrErrMask) {
       cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrErrIrq);
@@ -152,6 +180,10 @@ Status RvCapDriver::wait_mm2s_done(DmaMode mode) {
     if (sr & AxiDma::kSrIocIrq) {
       cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
       return Status::kOk;
+    }
+    if (monitor_ != nullptr && cpu_.now() >= next_probe) {
+      if (!monitor_->on_poll(probe_mm2s())) return Status::kHang;
+      next_probe = cpu_.now() + monitor_->poll_interval_cycles();
     }
   }
   return Status::kTimeout;
@@ -177,7 +209,7 @@ Status RvCapDriver::init_reconfig_process(const ReconfigModule& m,
 
   // ---- reconfiguration phase (T_r): transfer begins at LENGTH write.
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength, m.pbit_size);
-  const Status st = wait_mm2s_done(mode);
+  const Status st = wait_mm2s_done(mode, m.pbit_size);
   const u64 t2 = timer_.read_mtime();
 
   select_ICAP(false);
@@ -250,7 +282,8 @@ Status RvCapDriver::run_accelerator(Addr src, u32 in_bytes, Addr dst,
       cpu_.complete_irq(plic_base_ + irq::Plic::kClaimComplete, src_id);
     }
   } else {
-    for (u32 i = 0; i < timeouts_.s2mm_poll_iters; ++i) {
+    const u32 bound = timeouts_.s2mm_bound(out_bytes);
+    for (u32 i = 0; i < bound; ++i) {
       const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kS2mmSr);
       if (sr & AxiDma::kSrIocIrq) {
         cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr,
@@ -264,12 +297,12 @@ Status RvCapDriver::run_accelerator(Addr src, u32 in_bytes, Addr dst,
   return Status::kOk;
 }
 
-Status RvCapDriver::wait_s2mm_done(DmaMode mode) {
+Status RvCapDriver::wait_s2mm_done(DmaMode mode, u64 bytes) {
   if (mode == DmaMode::kInterrupt) {
     while (true) {
       const u32 src = cpu_.wait_for_irq(plic_, plic_base_ +
                                                   irq::Plic::kClaimComplete,
-                                        timeouts_.irq_wait_cycles);
+                                        timeouts_.irq_bound(bytes));
       if (src == 0) return Status::kTimeout;
       const bool s2mm = (src == soc::IrqMap::kDmaS2mm);
       if (s2mm) {
@@ -280,7 +313,8 @@ Status RvCapDriver::wait_s2mm_done(DmaMode mode) {
       if (s2mm) return Status::kOk;
     }
   }
-  for (u32 i = 0; i < timeouts_.s2mm_poll_iters; ++i) {
+  const u32 bound = timeouts_.s2mm_bound(bytes);
+  for (u32 i = 0; i < bound; ++i) {
     const u32 sr = cpu_.load32_uncached(dma_base_ + AxiDma::kS2mmSr);
     if (sr & AxiDma::kSrIocIrq) {
       cpu_.store32_uncached(dma_base_ + AxiDma::kS2mmSr, AxiDma::kSrIocIrq);
@@ -320,7 +354,7 @@ Status RvCapDriver::readback(const fabric::FrameAddr& start, u32 words,
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sLength,
                         static_cast<u32>(cmd.size()));
 
-  const Status st = wait_s2mm_done(mode);
+  const Status st = wait_s2mm_done(mode, u64{words} * 4);
   cpu_.store32_uncached(dma_base_ + AxiDma::kMm2sSr, AxiDma::kSrIocIrq);
   select_ICAP(false);
   if (!hold_decoupled) decouple_accel(false);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cpu/cpu.hpp"
+#include "driver/progress.hpp"
 #include "driver/reconfig_module.hpp"
 #include "driver/timer.hpp"
 #include "fabric/geometry.hpp"
@@ -26,15 +27,47 @@ class RvCapDriver {
     double reconfig_us() const { return TimerDriver::ticks_to_us(reconfig_ticks); }
   };
 
-  /// Poll/wait bounds for every blocking loop in the driver. Defaults
-  /// match the historical hard-coded values; tests shrink them so
-  /// timeout paths complete in milliseconds instead of multi-second
-  /// spins.
+  /// Poll/wait bounds for every blocking loop in the driver. The
+  /// per-transfer bounds default to 0 = "derive from the transfer
+  /// size": expected beats x a slack factor plus a fixed floor, so a
+  /// 4 KiB blanking pass times out orders of magnitude sooner than a
+  /// 650 KiB RM image instead of sharing one multi-million-iteration
+  /// ceiling. A non-zero field overrides the derivation (tests shrink
+  /// them so timeout paths complete in milliseconds).
   struct Timeouts {
-    u32 mm2s_poll_iters = 4'000'000;   // MM2S completion poll (blocking)
-    u32 s2mm_poll_iters = 40'000'000;  // S2MM completion poll (blocking)
+    u32 mm2s_poll_iters = 0;           // MM2S completion poll (blocking)
+    u32 s2mm_poll_iters = 0;           // S2MM completion poll (blocking)
     u32 drain_poll_iters = 4'000'000;  // decompressor drain poll
-    u64 irq_wait_cycles = 100'000'000; // WFI bound (interrupt mode)
+    u64 irq_wait_cycles = 0;           // WFI bound (interrupt mode)
+
+    // Size-derivation slack model (beats = 64-bit bus beats). Each
+    // blocking poll iteration costs a full uncached-read round trip —
+    // many core cycles — while the engine moves about a beat per
+    // cycle, so even a few iterations per beat is generous.
+    u32 poll_iters_floor = 20'000;     // MM2S floor (setup, DDR warmup)
+    u32 mm2s_iters_per_beat = 8;
+    u32 s2mm_iters_per_beat = 64;      // readback trickles out of FDRO
+    u64 irq_cycles_floor = 4'000'000;  // WFI floor (interrupt mode)
+    u64 irq_cycles_per_beat = 512;
+
+    u32 mm2s_bound(u64 bytes) const {
+      if (mm2s_poll_iters != 0) return mm2s_poll_iters;
+      return saturate32(poll_iters_floor + beats(bytes) * mm2s_iters_per_beat);
+    }
+    u32 s2mm_bound(u64 bytes) const {
+      if (s2mm_poll_iters != 0) return s2mm_poll_iters;
+      return saturate32(poll_iters_floor + beats(bytes) * s2mm_iters_per_beat);
+    }
+    u64 irq_bound(u64 bytes) const {
+      if (irq_wait_cycles != 0) return irq_wait_cycles;
+      return irq_cycles_floor + beats(bytes) * irq_cycles_per_beat;
+    }
+
+   private:
+    static u64 beats(u64 bytes) { return (bytes + 7) / 8; }
+    static u32 saturate32(u64 v) {
+      return v > 0xFFFF'FFFFull ? 0xFFFF'FFFFu : static_cast<u32>(v);
+    }
   };
 
   void set_timeouts(const Timeouts& t) { timeouts_ = t; }
@@ -107,6 +140,17 @@ class RvCapDriver {
                             DmaMode mode = DmaMode::kInterrupt,
                             bool hold_decoupled = false);
 
+  /// Snapshot the in-flight MM2S transfer: beat counter, status
+  /// register, RP-control status, CLINT timestamp. Three uncached reads
+  /// plus the mtime dance — cheap enough to poll from a watchdog.
+  TransferProgress probe_mm2s();
+
+  /// Install a ProgressMonitor observing (and possibly aborting) every
+  /// MM2S wait; nullptr detaches. The monitor is called from inside
+  /// wait loops, so it must not start transfers itself.
+  void set_progress_monitor(ProgressMonitor* m) { monitor_ = m; }
+  ProgressMonitor* progress_monitor() const { return monitor_; }
+
   /// Write an RM control register through the RP control interface.
   void rm_reg_write(u32 index, u32 value);
   u32 rm_reg_read(u32 index);
@@ -126,8 +170,8 @@ class RvCapDriver {
   static constexpr u64 kDecisionInstructions = 1350;
 
  private:
-  Status wait_mm2s_done(DmaMode mode);
-  Status wait_s2mm_done(DmaMode mode);
+  Status wait_mm2s_done(DmaMode mode, u64 bytes);
+  Status wait_s2mm_done(DmaMode mode, u64 bytes);
 
   cpu::CpuContext& cpu_;
   irq::Plic& plic_;
@@ -137,6 +181,7 @@ class RvCapDriver {
   TimerDriver timer_;
   Timing timing_;
   Timeouts timeouts_;
+  ProgressMonitor* monitor_ = nullptr;
 };
 
 }  // namespace rvcap::driver

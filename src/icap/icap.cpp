@@ -199,12 +199,22 @@ void Icap::reg_write(u32 reg, u32 data) {
           ++desyncs_;
           last_desync_ = now_;
           break;
-        default:
-          break;  // GRESTORE/LFRM/START: no functional effect here
+        case Cmd::kNull:
+        case Cmd::kLfrm:
+        case Cmd::kRcfg:
+        case Cmd::kStart:
+        case Cmd::kGrestore:
+        default:  // no functional effect here
+          break;
       }
       return;
 
-    default:
+    case ConfigReg::kFdro:
+    case ConfigReg::kCtl0:
+    case ConfigReg::kMask:
+    case ConfigReg::kStat:
+    case ConfigReg::kCor0:
+    default:  // default keeps reg values outside the enum covered
       crc_.update(reg, data);
       return;
   }

@@ -17,6 +17,7 @@ u32 AxiDma::read_reg(Addr addr) {
     case kMm2sSr: return mm2s_sr_;
     case kMm2sSa: return static_cast<u32>(mm2s_sa_);
     case kMm2sSaMsb: return static_cast<u32>(mm2s_sa_ >> 32);
+    case kMm2sBeats: return static_cast<u32>(mm2s_beats_streamed_);
     case kS2mmCr: return s2mm_cr_;
     case kS2mmSr: return s2mm_sr_;
     case kS2mmDa: return static_cast<u32>(s2mm_da_);

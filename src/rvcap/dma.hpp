@@ -24,6 +24,10 @@ class AxiDma : public axi::AxiLiteSlave {
   static constexpr Addr kMm2sSr = 0x04;
   static constexpr Addr kMm2sSa = 0x18;
   static constexpr Addr kMm2sSaMsb = 0x1C;
+  /// Read-only beat counter for the in-flight MM2S job (vendor cores
+  /// expose the same through the transferred-bytes field): the progress
+  /// probe the watchdog uses to tell "slow" from "wedged".
+  static constexpr Addr kMm2sBeats = 0x24;
   static constexpr Addr kMm2sLength = 0x28;
   static constexpr Addr kS2mmCr = 0x30;
   static constexpr Addr kS2mmSr = 0x34;

@@ -14,6 +14,8 @@ struct MemoryMap {
   static constexpr axi::AddrRange kPlic{0x0C00'0000, 0x0400'0000};
   static constexpr axi::AddrRange kUart{0x1000'0000, 0x1000};
   static constexpr axi::AddrRange kSpi{0x2000'0000, 0x1000};
+  /// Reconfiguration-service telemetry register file.
+  static constexpr axi::AddrRange kServiceRegs{0x2100'0000, 0x1000};
   /// AXI_HWICAP window (vendor-controller deployment, §III-C).
   static constexpr axi::AddrRange kHwicap{0x4000'0000, 0x1000};
   /// RV-CAP controller: DMA control + RP control interfaces.

@@ -1,0 +1,50 @@
+// Reconfiguration-service telemetry registers.
+//
+// A small AXI4-Lite register file on the peripheral bus the
+// ReconfigService publishes its counters into after every terminal
+// request event. On the real SoC this is how an external supervisor
+// (or another hart) observes queue health without sharing memory with
+// the service; here it also exercises the peripheral converter chain
+// with a write-mostly device. All registers are plain read/write words.
+#pragma once
+
+#include <array>
+
+#include "axi/lite_slave.hpp"
+
+namespace rvcap::soc {
+
+class ServiceRegs : public axi::AxiLiteSlave {
+ public:
+  static constexpr Addr kSubmitted = 0x00;
+  static constexpr Addr kAccepted = 0x04;
+  static constexpr Addr kCompleted = 0x08;
+  static constexpr Addr kFailed = 0x0C;
+  static constexpr Addr kShed = 0x10;
+  static constexpr Addr kRejectedFull = 0x14;
+  static constexpr Addr kDeadlineMissed = 0x18;
+  static constexpr Addr kCancelled = 0x1C;
+  static constexpr Addr kCoalesced = 0x20;
+  static constexpr Addr kQuarantineRejects = 0x24;
+  static constexpr Addr kPreflightRejects = 0x28;
+  static constexpr Addr kHangs = 0x2C;
+  static constexpr Addr kQueueDepth = 0x30;
+  static constexpr Addr kMaxQueueDepth = 0x34;
+
+  explicit ServiceRegs(std::string name) : AxiLiteSlave(std::move(name)) {}
+
+ protected:
+  u32 read_reg(Addr addr) override {
+    const usize i = (addr & 0xFF) / 4;
+    return i < regs_.size() ? regs_[i] : 0;
+  }
+  void write_reg(Addr addr, u32 value) override {
+    const usize i = (addr & 0xFF) / 4;
+    if (i < regs_.size()) regs_[i] = value;
+  }
+
+ private:
+  std::array<u32, 16> regs_{};
+};
+
+}  // namespace rvcap::soc

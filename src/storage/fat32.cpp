@@ -228,7 +228,15 @@ Status Fat32Volume::alloc_cluster(u32 hint, u32* out) {
 
 Status Fat32Volume::free_chain(u32 first) {
   u32 c = first;
-  while (c >= 2 && c < kEoc) {
+  // No valid chain has more links than the volume has clusters; a FAT
+  // corrupted into a cycle (or cross-linked into a longer walk) trips
+  // the bound instead of spinning forever.
+  for (u32 hops = 0; c >= 2 && c < kEoc; ++hops) {
+    if (hops >= total_clusters_) {
+      log_warn("fat32: cluster chain cycle detected while freeing");
+      fat_flush();
+      return Status::kIoError;
+    }
     u32 next = 0;
     if (auto st = fat_get(c, &next); !ok(st)) return st;
     if (auto st = fat_set(c, 0); !ok(st)) return st;
@@ -298,7 +306,12 @@ template <typename Fn>
 Status Fat32Volume::scan_dir(u32 dir_cluster, Fn&& fn) {
   u32 c = dir_cluster;
   std::array<u8, kBlockSize> sec{};
+  u32 hops = 0;
   while (c >= 2 && c < kEoc) {
+    if (++hops > total_clusters_) {
+      log_warn("fat32: directory chain cycle detected");
+      return Status::kIoError;
+    }
     for (u32 s = 0; s < sectors_per_cluster_; ++s) {
       const u32 lba = cluster_lba(c) + s;
       if (auto st = read_sector(lba, sec); !ok(st)) return st;
@@ -359,7 +372,11 @@ Status Fat32Volume::add_dir_entry(u32 dir_cluster, const RawEntry& entry) {
   // Find a free (0x00 / 0xE5) slot, extending the chain when full.
   u32 c = dir_cluster;
   std::array<u8, kBlockSize> sec{};
-  while (true) {
+  for (u32 hops = 0;; ++hops) {
+    if (hops > total_clusters_) {
+      log_warn("fat32: directory chain cycle detected while appending");
+      return Status::kIoError;
+    }
     for (u32 s = 0; s < sectors_per_cluster_; ++s) {
       const u32 lba = cluster_lba(c) + s;
       if (auto st = read_sector(lba, sec); !ok(st)) return st;
@@ -500,10 +517,16 @@ Status Fat32Volume::read_file_range(std::string_view path, u32 offset,
   if (out.empty()) return Status::kOk;
 
   const u32 cbytes = cluster_bytes();
+  // Overlength guard: a file of e.size bytes can span at most this many
+  // clusters, so any walk past it means the FAT is cross-linked or
+  // cyclic — fail instead of reading unrelated clusters.
+  const u32 max_hops = (e.size + cbytes - 1) / cbytes;
+  u32 hops = 0;
   u32 c = e.first_cluster;
   for (u32 skip = offset / cbytes; skip > 0; --skip) {
     if (auto st = fat_get(c, &c); !ok(st)) return st;
     if (c < 2 || c >= kEoc) return Status::kIoError;
+    if (++hops >= max_hops) return Status::kIoError;
   }
   u32 in_cluster = offset % cbytes;
   usize done = 0;
@@ -521,6 +544,7 @@ Status Fat32Volume::read_file_range(std::string_view path, u32 offset,
       in_cluster = 0;
       if (auto st = fat_get(c, &c); !ok(st)) return st;
       if (c < 2 || c >= kEoc) return Status::kIoError;
+      if (++hops >= max_hops) return Status::kIoError;
     }
   }
   return Status::kOk;

@@ -528,5 +528,149 @@ TEST_P(Fat32Property, RandomOpsMatchReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, Fat32Property,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// ---------------------------------------------------------------------------
+// FAT corruption: cluster-chain cycles and truncation must surface as
+// errors, never as hangs or silent reads of unrelated clusters.
+// ---------------------------------------------------------------------------
+
+class Fat32Corruption : public ::testing::Test {
+ protected:
+  Fat32Corruption() : card(131072), io(card) {
+    EXPECT_EQ(storage::fat32_format(io), Status::kOk);
+    Fat32Volume vol(io);
+    EXPECT_EQ(vol.mount(), Status::kOk);
+    cluster_bytes = vol.cluster_bytes();
+    payload.resize(3 * cluster_bytes);
+    for (usize i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<u8>(i * 31);
+    }
+    EXPECT_EQ(vol.write_file("BIG.BIN", payload), Status::kOk);
+
+    // Geometry straight from the BPB (the fields are not exposed by the
+    // volume API, deliberately — tests corrupt below it).
+    std::array<u8, kBlockSize> bpb{};
+    EXPECT_EQ(io.read(0, bpb), Status::kOk);
+    auto le16 = [&](u32 off) {
+      return u32{bpb[off]} | (u32{bpb[off + 1]} << 8);
+    };
+    auto le32 = [&](u32 off) { return le16(off) | (le16(off + 2) << 16); };
+    sectors_per_cluster = bpb[13];
+    fat_begin = le16(14);  // reserved sectors
+    const u32 num_fats = bpb[16];
+    fat_size = le32(36);
+    root_cluster = le32(44);
+    data_start = fat_begin + num_fats * fat_size;
+
+    std::vector<storage::DirEntryInfo> entries;
+    EXPECT_EQ(vol.list("/", entries), Status::kOk);
+    EXPECT_EQ(entries.size(), 1u);
+    c0 = entries.front().first_cluster;
+    c1 = fat_entry(c0);
+    c2 = fat_entry(c1);
+    EXPECT_GE(c1, 2u);
+    EXPECT_GE(c2, 2u);
+  }
+
+  u32 fat_entry(u32 cluster) {
+    std::array<u8, kBlockSize> sec{};
+    EXPECT_EQ(io.read(fat_begin + cluster / 128, sec), Status::kOk);
+    const u32 off = (cluster % 128) * 4;
+    return (u32{sec[off]} | (u32{sec[off + 1]} << 8) |
+            (u32{sec[off + 2]} << 16) | (u32{sec[off + 3]} << 24)) &
+           0x0FFF'FFFF;
+  }
+
+  void set_fat_entry(u32 cluster, u32 value) {
+    std::array<u8, kBlockSize> sec{};
+    const u32 lba = fat_begin + cluster / 128;
+    ASSERT_EQ(io.read(lba, sec), Status::kOk);
+    const u32 off = (cluster % 128) * 4;
+    sec[off] = static_cast<u8>(value);
+    sec[off + 1] = static_cast<u8>(value >> 8);
+    sec[off + 2] = static_cast<u8>(value >> 16);
+    sec[off + 3] = static_cast<u8>(value >> 24);
+    ASSERT_EQ(io.write(lba, sec), Status::kOk);
+  }
+
+  SdCard card;
+  MemBlockIo io;
+  std::vector<u8> payload;
+  u32 cluster_bytes = 0;
+  u32 sectors_per_cluster = 0;
+  u32 fat_begin = 0;
+  u32 fat_size = 0;
+  u32 root_cluster = 0;
+  u32 data_start = 0;
+  u32 c0 = 0, c1 = 0, c2 = 0;
+};
+
+TEST_F(Fat32Corruption, IntactChainReadsBack) {
+  Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  std::vector<u8> out;
+  ASSERT_EQ(vol.read_file("BIG.BIN", out), Status::kOk);
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(Fat32Corruption, ChainCycleOnRemoveTerminatesAndFrees) {
+  // Last cluster points back at the first. free_chain zeroes links as
+  // it walks, so the revisit finds a freed entry and the walk stops —
+  // bounded, with every cluster of the cycle reclaimed.
+  set_fat_entry(c2, c0);
+  Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  EXPECT_EQ(vol.remove("BIG.BIN"), Status::kOk);
+  EXPECT_EQ(fat_entry(c0), 0u);
+  EXPECT_EQ(fat_entry(c1), 0u);
+  EXPECT_EQ(fat_entry(c2), 0u);
+  // The volume stays serviceable: the freed clusters are reusable.
+  EXPECT_EQ(vol.write_file("NEW.BIN", payload), Status::kOk);
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("NEW.BIN", out), Status::kOk);
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(Fat32Corruption, ChainCycleOnOverwriteTerminates) {
+  // Overwrite frees the old (cyclic) chain first; the rewrite must
+  // terminate and produce a readable file.
+  set_fat_entry(c2, c0);
+  Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  const std::vector<u8> small(64, 0x55);
+  EXPECT_EQ(vol.write_file("BIG.BIN", small), Status::kOk);
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("BIG.BIN", out), Status::kOk);
+  EXPECT_EQ(out, small);
+}
+
+TEST_F(Fat32Corruption, TruncatedChainDetectedOnRead) {
+  // Middle link marked free: the file claims three clusters but the
+  // chain ends after two. The read must fail, not return stale data.
+  set_fat_entry(c1, 0);
+  Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("BIG.BIN", out), Status::kIoError);
+}
+
+TEST_F(Fat32Corruption, DirectoryChainCycleDetected) {
+  // Root directory cluster full of deleted entries (no end-of-dir
+  // marker) with its FAT entry pointing at itself: any lookup walks the
+  // chain and must hit the cycle bound instead of spinning.
+  std::array<u8, kBlockSize> sec{};
+  sec.fill(0xE5);
+  const u32 root_lba = data_start + (root_cluster - 2) * sectors_per_cluster;
+  for (u32 s = 0; s < sectors_per_cluster; ++s) {
+    ASSERT_EQ(io.write(root_lba + s, sec), Status::kOk);
+  }
+  set_fat_entry(root_cluster, root_cluster);
+  Fat32Volume vol(io);
+  ASSERT_EQ(vol.mount(), Status::kOk);
+  std::vector<u8> out;
+  EXPECT_EQ(vol.read_file("BIG.BIN", out), Status::kIoError);
+  std::vector<storage::DirEntryInfo> entries;
+  EXPECT_EQ(vol.list("/", entries), Status::kIoError);
+}
+
 }  // namespace
 }  // namespace rvcap
