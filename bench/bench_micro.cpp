@@ -2,9 +2,21 @@
 // itself: how fast the kernel, interconnect, ICAP path and workload
 // generators run on the host. These guard against performance
 // regressions that would make the table harnesses impractically slow.
+//
+// After the google-benchmark suite, main() runs the kernel comparison:
+// each workload executes once under Mode::kFlat and once under
+// Mode::kScheduled, asserts cycle-level equivalence, prints the
+// SimStats work-avoidance counters, and appends the wall-clock numbers
+// to BENCH_kernel.json (the perf trajectory record). Exit status is
+// non-zero if the two kernels diverge.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "accel/filters.hpp"
+#include "bench_util.hpp"
 #include "bitstream/generator.hpp"
 #include "common/rng.hpp"
 #include "icap/icap.hpp"
@@ -28,7 +40,10 @@ BENCHMARK(BM_FifoPushPop);
 class Nop : public sim::Component {
  public:
   Nop() : Component("nop") {}
-  void tick() override { benchmark::DoNotOptimize(count_++); }
+  bool tick() override {
+    benchmark::DoNotOptimize(count_++);
+    return true;  // free-running: measures raw dispatch, never sleeps
+  }
 
  private:
   u64 count_ = 0;
@@ -117,6 +132,164 @@ void BM_SplitMix64(benchmark::State& state) {
 }
 BENCHMARK(BM_SplitMix64);
 
+// ------------------------------------------------------------------
+// Kernel comparison: flat vs. scheduled on SoC-scale workloads.
+// ------------------------------------------------------------------
+
+/// One workload execution under one kernel mode.
+struct KernelRun {
+  double seconds = 0;
+  Cycles final_cycle = 0;
+  sim::SimStats stats;
+  double mbps = 0;   // dma_reconfig only
+  bool loaded = true;
+};
+
+const char* mode_name(sim::Simulator::Mode m) {
+  return m == sim::Simulator::Mode::kFlat ? "flat" : "scheduled";
+}
+
+/// Idle-heavy workload: a fully assembled SoC left alone for a long
+/// stretch of simulated time (the shape of the deadline/service
+/// benches, where the platform waits between reconfigurations).
+KernelRun run_idle_wait(sim::Simulator::Mode mode, Cycles cycles) {
+  soc::SocConfig cfg;
+  cfg.sim_mode = mode;
+  soc::ArianeSoc soc(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  soc.sim().run_cycles(cycles);
+  const auto t1 = std::chrono::steady_clock::now();
+  KernelRun r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.final_cycle = soc.sim().now();
+  r.stats = soc.sim().stats();
+  return r;
+}
+
+/// Busy workload: a complete Listing-1 reconfiguration (DMA + ICAP
+/// streaming, interrupt completion). Little idle time, so this bounds
+/// the scheduled kernel's bookkeeping overhead from above.
+KernelRun run_dma_reconfig(sim::Simulator::Mode mode) {
+  soc::SocConfig cfg;
+  cfg.sim_mode = mode;
+  soc::ArianeSoc soc(cfg);
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = bench::run_rvcap_reconfig(soc, drv, accel::kRmIdSobel,
+                                             driver::DmaMode::kInterrupt);
+  const auto t1 = std::chrono::steady_clock::now();
+  KernelRun r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.final_cycle = soc.sim().now();
+  r.stats = soc.sim().stats();
+  r.mbps = res.mbps;
+  r.loaded = res.loaded;
+  return r;
+}
+
+void print_run(const char* workload, sim::Simulator::Mode mode,
+               const KernelRun& r) {
+  std::printf(
+      "  %-14s %-9s %9.3f s   cycle %12llu   ticks %12llu   "
+      "skipped %12llu   wakeups %9llu   jumps %6llu\n",
+      workload, mode_name(mode), r.seconds,
+      static_cast<unsigned long long>(r.final_cycle),
+      static_cast<unsigned long long>(r.stats.ticks_issued),
+      static_cast<unsigned long long>(r.stats.ticks_skipped),
+      static_cast<unsigned long long>(r.stats.wakeups),
+      static_cast<unsigned long long>(r.stats.time_skip_jumps));
+}
+
+void json_run(std::FILE* f, const char* key, const KernelRun& r) {
+  std::fprintf(f,
+               "    \"%s\": {\"seconds\": %.6f, \"final_cycle\": %llu, "
+               "\"ticks_issued\": %llu, \"ticks_skipped\": %llu, "
+               "\"wakeups\": %llu, \"time_skip_jumps\": %llu, "
+               "\"cycles_skipped\": %llu}",
+               key, r.seconds,
+               static_cast<unsigned long long>(r.final_cycle),
+               static_cast<unsigned long long>(r.stats.ticks_issued),
+               static_cast<unsigned long long>(r.stats.ticks_skipped),
+               static_cast<unsigned long long>(r.stats.wakeups),
+               static_cast<unsigned long long>(r.stats.time_skip_jumps),
+               static_cast<unsigned long long>(r.stats.cycles_skipped));
+}
+
+int run_kernel_comparison() {
+  using Mode = sim::Simulator::Mode;
+  bench::print_header(
+      "Kernel comparison: flat vs. activity-scheduled (BENCH_kernel.json)");
+
+  // CI smoke runs (sanitizers, shared runners) shrink the idle window;
+  // the recorded BENCH_kernel.json comes from a full local run.
+  const bool quick = std::getenv("BENCH_KERNEL_QUICK") != nullptr;
+  const Cycles idle_cycles = quick ? 200'000 : 5'000'000;
+
+  const KernelRun idle_flat = run_idle_wait(Mode::kFlat, idle_cycles);
+  const KernelRun idle_sched = run_idle_wait(Mode::kScheduled, idle_cycles);
+  const KernelRun dma_flat = run_dma_reconfig(Mode::kFlat);
+  const KernelRun dma_sched = run_dma_reconfig(Mode::kScheduled);
+
+  print_run("idle_wait", Mode::kFlat, idle_flat);
+  print_run("idle_wait", Mode::kScheduled, idle_sched);
+  print_run("dma_reconfig", Mode::kFlat, dma_flat);
+  print_run("dma_reconfig", Mode::kScheduled, dma_sched);
+
+  const double idle_speedup =
+      idle_sched.seconds > 0 ? idle_flat.seconds / idle_sched.seconds : 0;
+  const double dma_speedup =
+      dma_sched.seconds > 0 ? dma_flat.seconds / dma_sched.seconds : 0;
+
+  const bool idle_match = idle_flat.final_cycle == idle_sched.final_cycle;
+  const bool dma_match = dma_flat.final_cycle == dma_sched.final_cycle &&
+                         dma_flat.mbps == dma_sched.mbps &&
+                         dma_flat.loaded && dma_sched.loaded;
+
+  std::printf("\n  idle_wait:    %.1fx speedup, cycle counts %s\n",
+              idle_speedup, idle_match ? "MATCH" : "DIVERGED");
+  std::printf("  dma_reconfig: %.2fx speedup, cycle counts + MB/s %s "
+              "(%.1f MB/s both modes)\n",
+              dma_speedup, dma_match ? "MATCH" : "DIVERGED",
+              dma_sched.mbps);
+
+  const char* path = std::getenv("BENCH_KERNEL_JSON");
+  if (path == nullptr) path = "BENCH_kernel.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_micro kernel comparison\",\n");
+    std::fprintf(f, "  \"idle_wait\": {\n    \"cycles\": %llu,\n",
+                 static_cast<unsigned long long>(idle_cycles));
+    json_run(f, "flat", idle_flat);
+    std::fprintf(f, ",\n");
+    json_run(f, "scheduled", idle_sched);
+    std::fprintf(f, ",\n    \"speedup\": %.2f, \"cycles_match\": %s\n  },\n",
+                 idle_speedup, idle_match ? "true" : "false");
+    std::fprintf(f, "  \"dma_reconfig\": {\n");
+    json_run(f, "flat", dma_flat);
+    std::fprintf(f, ",\n");
+    json_run(f, "scheduled", dma_sched);
+    std::fprintf(f,
+                 ",\n    \"mbps\": %.2f, \"speedup\": %.2f, "
+                 "\"cycles_match\": %s\n  }\n}\n",
+                 dma_sched.mbps, dma_speedup, dma_match ? "true" : "false");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path);
+  } else {
+    std::printf("  WARNING: could not open %s for writing\n", path);
+  }
+
+  if (!idle_match || !dma_match) {
+    std::printf("\nKERNEL DIVERGENCE DETECTED — see DESIGN.md §9\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_kernel_comparison();
+}

@@ -61,8 +61,8 @@ i16 FirFilter::step(i16 x) {
   return static_cast<i16>(std::clamp<i64>(acc, -32768, 32767));
 }
 
-void FirFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
-  if (!in.can_pop() || !out.can_push()) return;
+bool FirFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+  if (!in.can_pop() || !out.can_push()) return false;
   const axi::AxisBeat b = *in.pop();
   u64 result = 0;
   for (u32 lane = 0; lane < 4; ++lane) {
@@ -72,6 +72,7 @@ void FirFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
   }
   out.push(axi::AxisBeat{result, b.keep, b.last});
   if (b.last) delay_line_.fill(0);  // packet boundary resets state
+  return true;
 }
 
 u32 FirFilter::reg_read(u32 index) {

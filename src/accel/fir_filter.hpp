@@ -37,7 +37,7 @@ class FirFilter final : public RmBehavior {
  public:
   FirFilter() { reset(); }
 
-  void tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
+  bool tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
   bool busy() const override { return false; }
   void reset() override;
 

@@ -19,7 +19,9 @@ class RmBehavior {
 
   /// Advance one cycle: consume from `in` / produce into `out`
   /// (at most one beat each, like any 100 MHz stream stage).
-  virtual void tick(axi::AxisFifo& in, axi::AxisFifo& out) = 0;
+  /// Returns true iff observable state changed — an idle module lets
+  /// the hosting slot sleep under the scheduled kernel.
+  virtual bool tick(axi::AxisFifo& in, axi::AxisFifo& out) = 0;
 
   virtual bool busy() const = 0;
 

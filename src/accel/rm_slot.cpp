@@ -10,14 +10,19 @@ namespace rvcap::accel {
 RmSlot::RmSlot(std::string name, fabric::ConfigMemory& cfg,
                usize partition_handle, axi::AxisFifo& in)
     : Component(std::move(name)), cfg_(cfg), handle_(partition_handle),
-      in_(in) {}
+      in_(in) {
+  in_.watch(this);
+  out_.watch(this);
+  cfg_.add_observer(this);
+}
 
 void RmSlot::register_behavior(
     u32 rm_id, std::function<std::unique_ptr<RmBehavior>()> make) {
   factories_[rm_id] = std::move(make);
 }
 
-void RmSlot::tick() {
+bool RmSlot::tick() {
+  bool progress = false;
   const auto st = cfg_.partition_state(handle_);
   const u32 wanted = st.loaded ? st.rm_id : 0;
   // A completed reload of the same module is still a fresh
@@ -39,14 +44,17 @@ void RmSlot::tick() {
         log_debug("rm_slot: activated rm_id ", wanted);
       }
     }
+    progress = true;
   }
   if (active_ != nullptr) {
-    active_->tick(in_, out_);
+    if (active_->tick(in_, out_)) progress = true;
   } else if (in_.can_pop()) {
     // Unconfigured fabric: beats fall on the floor (the isolator should
     // have prevented them from arriving in the first place).
     in_.pop();
+    progress = true;
   }
+  return progress;
 }
 
 bool RmSlot::busy() const {
@@ -60,7 +68,10 @@ u32 RmSlot::rm_reg_read(u32 index) {
 }
 
 void RmSlot::rm_reg_write(u32 index, u32 value) {
-  if (active_ != nullptr) active_->reg_write(index, value);
+  if (active_ != nullptr) {
+    active_->reg_write(index, value);
+    wake();  // a register write may unblock module-side work
+  }
 }
 
 void register_case_study_filters(RmSlot& slot) {

@@ -39,7 +39,7 @@ class RmSlot : public sim::Component, public rvcap_ctrl::RmRegisterFile {
   RmBehavior* behavior() { return active_.get(); }
   u64 activations() const { return activations_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   // RmRegisterFile (forwarded by the RP control interface).

@@ -19,15 +19,16 @@ u64 StreamCipher::keystream(u64 key, u64 beat_index) {
   return z ^ (z >> 31);
 }
 
-void StreamCipher::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+bool StreamCipher::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
   // Full-rate: one beat per cycle, II=1.
-  if (!in.can_pop() || !out.can_push()) return;
+  if (!in.can_pop() || !out.can_push()) return false;
   const axi::AxisBeat b = *in.pop();
   axi::AxisBeat o = b;
   o.data ^= keystream(key_, beat_index_++);
   out.push(o);
   ++beats_done_;
   if (b.last) beat_index_ = 0;  // keystream restarts per packet
+  return true;
 }
 
 u32 StreamCipher::reg_read(u32 index) {

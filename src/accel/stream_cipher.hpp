@@ -19,7 +19,7 @@ class StreamCipher final : public RmBehavior {
  public:
   StreamCipher() { reset(); }
 
-  void tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
+  bool tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
   bool busy() const override { return false; }
   void reset() override;
 

@@ -80,25 +80,29 @@ void StreamFilter::accept_beat(u64 data) {
   if (k + 1 == height_) produce_output_row(k);  // bottom border row
 }
 
-void StreamFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+bool StreamFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
+  bool progress = false;
   // Input side: accept one beat per cycle while the output backlog is
   // bounded (creates upstream back-pressure at the core's pace).
   const bool frame_incomplete = rows_valid_ < height_;
   if (frame_incomplete && out_bytes_.size() < usize{3} * width_ &&
       in.can_pop()) {
     accept_beat(in.pop()->data);
+    progress = true;
   }
 
-  // Output side: pipeline fill, then paced beat emission.
+  // Output side: pipeline fill, then paced beat emission. The
+  // countdowns are per-cycle costs, so they count as progress.
   if (startup_remaining_ > 0) {
     --startup_remaining_;
-    return;
+    return true;
   }
   if (stall_pending_ > 0) {
     --stall_pending_;
-    return;
+    return true;
   }
   if (out_bytes_.size() >= 8 && out.can_push()) {
+    progress = true;
     u64 data = 0;
     for (int i = 0; i < 8; ++i) {
       data |= u64{out_bytes_.front()} << (8 * i);
@@ -130,6 +134,7 @@ void StreamFilter::tick(axi::AxisFifo& in, axi::AxisFifo& out) {
       }
     }
   }
+  return progress;
 }
 
 bool StreamFilter::busy() const {

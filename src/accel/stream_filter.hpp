@@ -40,7 +40,7 @@ class StreamFilter final : public RmBehavior {
  public:
   explicit StreamFilter(const StreamFilterParams& p);
 
-  void tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
+  bool tick(axi::AxisFifo& in, axi::AxisFifo& out) override;
   bool busy() const override;
   void reset() override;
 

@@ -7,6 +7,7 @@ namespace rvcap::axi {
 AxiCrossbar::AxiCrossbar(std::string name) : Component(std::move(name)) {}
 
 usize AxiCrossbar::add_manager(AxiPort* port) {
+  port->watch(this);
   managers_.push_back(port);
   active_writes_.emplace_back();
   error_reads_.emplace_back();
@@ -20,6 +21,7 @@ void AxiCrossbar::add_subordinate(const AddrRange& range, AxiPort* port) {
       throw std::invalid_argument("AxiCrossbar: overlapping address window");
     }
   }
+  port->watch(this);
   ranges_.push_back(range);
   subs_.push_back(port);
   read_routes_.emplace_back();
@@ -33,18 +35,19 @@ std::optional<usize> AxiCrossbar::decode(Addr a) const {
   return std::nullopt;
 }
 
-void AxiCrossbar::tick() {
+bool AxiCrossbar::tick() {
   // Response paths first so a beat freed this cycle can be refilled by
   // the subordinate next cycle (keeps the pipe full at 1 beat/cycle).
-  return_r();
-  return_b();
-  drain_error_reads();
-  forward_w();
-  arbitrate_ar();
-  arbitrate_aw();
+  bool progress = return_r();
+  progress |= return_b();
+  progress |= drain_error_reads();
+  progress |= forward_w();
+  progress |= arbitrate_ar();
+  progress |= arbitrate_aw();
+  return progress;
 }
 
-void AxiCrossbar::arbitrate_ar() {
+bool AxiCrossbar::arbitrate_ar() {
   const usize n = managers_.size();
   for (usize k = 0; k < n; ++k) {
     const usize m = (rr_ar_ + k) % n;
@@ -58,18 +61,19 @@ void AxiCrossbar::arbitrate_ar() {
       error_reads_[m].push_back(ErrorRead{u32{ar->len} + 1});
       managers_[m]->ar.pop();
       rr_ar_ = (m + 1) % n;
-      return;  // one AR accepted per cycle (shared decode stage)
+      return true;  // one AR accepted per cycle (shared decode stage)
     }
     if (!subs_[*sub]->ar.can_push()) continue;
     subs_[*sub]->ar.push(*ar);
     read_routes_[*sub].push_back(ReadRoute{m, u32{ar->len} + 1});
     managers_[m]->ar.pop();
     rr_ar_ = (m + 1) % n;
-    return;
+    return true;
   }
+  return false;
 }
 
-void AxiCrossbar::arbitrate_aw() {
+bool AxiCrossbar::arbitrate_aw() {
   const usize n = managers_.size();
   for (usize k = 0; k < n; ++k) {
     const usize m = (rr_aw_ + k) % n;
@@ -83,7 +87,7 @@ void AxiCrossbar::arbitrate_aw() {
       active_writes_[m] = ActiveWrite{0, u32{aw->len} + 1, true};
       managers_[m]->aw.pop();
       rr_aw_ = (m + 1) % n;
-      return;
+      return true;
     }
     if (!subs_[*sub]->aw.can_push()) continue;
     subs_[*sub]->aw.push(*aw);
@@ -91,11 +95,13 @@ void AxiCrossbar::arbitrate_aw() {
     active_writes_[m] = ActiveWrite{*sub, u32{aw->len} + 1, false};
     managers_[m]->aw.pop();
     rr_aw_ = (m + 1) % n;
-    return;
+    return true;
   }
+  return false;
 }
 
-void AxiCrossbar::forward_w() {
+bool AxiCrossbar::forward_w() {
+  bool progress = false;
   for (usize m = 0; m < managers_.size(); ++m) {
     auto& active = active_writes_[m];
     if (!active.has_value()) continue;
@@ -103,6 +109,7 @@ void AxiCrossbar::forward_w() {
     if (w == nullptr) continue;
     if (active->to_error_sink) {
       managers_[m]->w.pop();
+      progress = true;
       if (--active->beats_left == 0) {
         ++pending_error_b_[m];
         active.reset();
@@ -113,11 +120,14 @@ void AxiCrossbar::forward_w() {
     if (!sub->w.can_push()) continue;
     sub->w.push(*w);
     managers_[m]->w.pop();
+    progress = true;
     if (--active->beats_left == 0) active.reset();
   }
+  return progress;
 }
 
-void AxiCrossbar::return_r() {
+bool AxiCrossbar::return_r() {
+  bool progress = false;
   for (usize s = 0; s < subs_.size(); ++s) {
     if (read_routes_[s].empty()) continue;
     const AxiR* r = subs_[s]->r.front();
@@ -128,11 +138,14 @@ void AxiCrossbar::return_r() {
     mgr->r.push(*r);
     const bool last = r->last;  // r points into the FIFO; pop() frees it
     subs_[s]->r.pop();
+    progress = true;
     if (--route.beats_left == 0 || last) read_routes_[s].pop_front();
   }
+  return progress;
 }
 
-void AxiCrossbar::return_b() {
+bool AxiCrossbar::return_b() {
+  bool progress = false;
   for (usize s = 0; s < subs_.size(); ++s) {
     if (write_routes_[s].empty()) continue;
     const AxiB* b = subs_[s]->b.front();
@@ -142,21 +155,27 @@ void AxiCrossbar::return_b() {
     mgr->b.push(*b);
     subs_[s]->b.pop();
     write_routes_[s].pop_front();
+    progress = true;
   }
+  return progress;
 }
 
-void AxiCrossbar::drain_error_reads() {
+bool AxiCrossbar::drain_error_reads() {
+  bool progress = false;
   for (usize m = 0; m < managers_.size(); ++m) {
     if (pending_error_b_[m] > 0 && managers_[m]->b.can_push()) {
       managers_[m]->b.push(AxiB{Resp::kDecErr});
       --pending_error_b_[m];
+      progress = true;
     }
     if (error_reads_[m].empty()) continue;
     ErrorRead& er = error_reads_[m].front();
     if (!managers_[m]->r.can_push()) continue;
     managers_[m]->r.push(AxiR{0, Resp::kDecErr, er.beats_left == 1});
+    progress = true;
     if (--er.beats_left == 0) error_reads_[m].pop_front();
   }
+  return progress;
 }
 
 bool AxiCrossbar::busy() const {

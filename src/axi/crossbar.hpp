@@ -30,7 +30,7 @@ class AxiCrossbar : public sim::Component {
   /// Throws std::invalid_argument on overlapping windows.
   void add_subordinate(const AddrRange& range, AxiPort* port);
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   /// Count of address-decode failures (DECERR responses generated).
@@ -51,12 +51,12 @@ class AxiCrossbar : public sim::Component {
   };
 
   std::optional<usize> decode(Addr a) const;
-  void arbitrate_ar();
-  void arbitrate_aw();
-  void forward_w();
-  void return_r();
-  void return_b();
-  void drain_error_reads();
+  bool arbitrate_ar();
+  bool arbitrate_aw();
+  bool forward_w();
+  bool return_r();
+  bool return_b();
+  bool drain_error_reads();
 
   std::vector<AxiPort*> managers_;
   std::vector<AddrRange> ranges_;

@@ -2,25 +2,36 @@
 
 namespace rvcap::axi {
 
-AxisIsolator::AxisIsolator(std::string name) : Component(std::move(name)) {}
+AxisIsolator::AxisIsolator(std::string name) : Component(std::move(name)) {
+  in_to_rp_.watch(this);
+  out_to_rp_.watch(this);
+  in_from_rp_.watch(this);
+  out_from_rp_.watch(this);
+}
 
-void AxisIsolator::tick() {
+bool AxisIsolator::tick() {
+  bool progress = false;
   if (in_to_rp_.can_pop()) {
     if (decoupled_) {
       in_to_rp_.pop();
       ++dropped_;
+      progress = true;
     } else if (out_to_rp_.can_push()) {
       out_to_rp_.push(*in_to_rp_.pop());
+      progress = true;
     }
   }
   if (in_from_rp_.can_pop()) {
     if (decoupled_) {
       in_from_rp_.pop();
       ++dropped_;
+      progress = true;
     } else if (out_from_rp_.can_push()) {
       out_from_rp_.push(*in_from_rp_.pop());
+      progress = true;
     }
   }
+  return progress;
 }
 
 bool AxisIsolator::busy() const {

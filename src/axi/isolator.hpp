@@ -18,7 +18,10 @@ class AxisIsolator : public sim::Component {
  public:
   explicit AxisIsolator(std::string name);
 
-  void set_decoupled(bool d) { decoupled_ = d; }
+  void set_decoupled(bool d) {
+    decoupled_ = d;
+    wake();  // mode change can unblock parked beats
+  }
   bool decoupled() const { return decoupled_; }
 
   /// static-region side -> RP side
@@ -30,7 +33,7 @@ class AxisIsolator : public sim::Component {
 
   u64 dropped_beats() const { return dropped_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
  private:

@@ -3,19 +3,25 @@
 namespace rvcap::axi {
 
 AxiToLiteBridge::AxiToLiteBridge(std::string name)
-    : Component(std::move(name)) {}
+    : Component(std::move(name)) {
+  up_.watch(this);
+  down_.watch(this);
+}
 
-void AxiToLiteBridge::tick() {
+bool AxiToLiteBridge::tick() {
+  bool progress = false;
   // Read request.
   if (const AxiAr* ar = up_.ar.front()) {
     if (ar->len != 0) {
       if (up_.r.can_push()) {
         up_.r.push(AxiR{0, Resp::kSlvErr, true});
         up_.ar.pop();
+        progress = true;
       }
     } else if (down_.ar.can_push()) {
       down_.ar.push(LiteAr{ar->addr});
       up_.ar.pop();
+      progress = true;
     }
   }
   // Read response.
@@ -23,6 +29,7 @@ void AxiToLiteBridge::tick() {
     if (up_.r.can_push()) {
       up_.r.push(AxiR{u64{r->data}, r->resp, true});
       down_.r.pop();
+      progress = true;
     }
   }
   // Write request: pair AW with its single W beat.
@@ -32,11 +39,13 @@ void AxiToLiteBridge::tick() {
         if (up_.b.can_push()) {
           up_.b.push(AxiB{Resp::kSlvErr});
           up_.aw.pop();
+          progress = true;
         }
       } else {
         cur_aw_ = LiteAw{aw->addr};
         up_.aw.pop();
         aw_taken_ = true;
+        progress = true;
       }
     }
   }
@@ -48,6 +57,7 @@ void AxiToLiteBridge::tick() {
                            static_cast<u8>(w->strb & 0x0F)});
         up_.w.pop();
         aw_taken_ = false;
+        progress = true;
       }
     }
   }
@@ -56,8 +66,10 @@ void AxiToLiteBridge::tick() {
     if (up_.b.can_push()) {
       up_.b.push(AxiB{b->resp});
       down_.b.pop();
+      progress = true;
     }
   }
+  return progress;
 }
 
 bool AxiToLiteBridge::busy() const {

@@ -18,7 +18,7 @@ class AxiToLiteBridge : public sim::Component {
   AxiPort& upstream() { return up_; }
   AxiLitePort& downstream() { return down_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
  private:

@@ -4,7 +4,9 @@
 
 namespace rvcap::axi {
 
-LiteBus::LiteBus(std::string name) : Component(std::move(name)) {}
+LiteBus::LiteBus(std::string name) : Component(std::move(name)) {
+  up_.watch(this);
+}
 
 void LiteBus::add_device(const AddrRange& range, AxiLitePort* port) {
   for (const auto& r : ranges_) {
@@ -12,6 +14,7 @@ void LiteBus::add_device(const AddrRange& range, AxiLitePort* port) {
       throw std::invalid_argument("LiteBus: overlapping window");
     }
   }
+  port->watch(this);
   ranges_.push_back(range);
   devs_.push_back(port);
 }
@@ -23,7 +26,8 @@ std::optional<usize> LiteBus::decode(Addr a) const {
   return std::nullopt;
 }
 
-void LiteBus::tick() {
+bool LiteBus::tick() {
+  bool progress = false;
   // Requests.
   if (const LiteAr* ar = up_.ar.front()) {
     if (auto d = decode(ar->addr); d.has_value()) {
@@ -31,11 +35,13 @@ void LiteBus::tick() {
         devs_[*d]->ar.push(*ar);
         read_route_.push_back(*d);
         up_.ar.pop();
+        progress = true;
       }
     } else {
       ++decode_errors_;
       read_route_.push_back(kErrDev);
       up_.ar.pop();
+      progress = true;
     }
   }
   const LiteAw* aw = up_.aw.front();
@@ -48,12 +54,14 @@ void LiteBus::tick() {
         write_route_.push_back(*d);
         up_.aw.pop();
         up_.w.pop();
+        progress = true;
       }
     } else {
       ++decode_errors_;
       write_route_.push_back(kErrDev);
       up_.aw.pop();
       up_.w.pop();
+      progress = true;
     }
   }
   // Responses (in request order; every device answers in order).
@@ -62,9 +70,11 @@ void LiteBus::tick() {
     if (d == kErrDev) {
       up_.r.push(LiteR{0, Resp::kDecErr});
       read_route_.pop_front();
+      progress = true;
     } else if (devs_[d]->r.can_pop()) {
       up_.r.push(*devs_[d]->r.pop());
       read_route_.pop_front();
+      progress = true;
     }
   }
   if (!write_route_.empty() && up_.b.can_push()) {
@@ -72,11 +82,14 @@ void LiteBus::tick() {
     if (d == kErrDev) {
       up_.b.push(LiteB{Resp::kDecErr});
       write_route_.pop_front();
+      progress = true;
     } else if (devs_[d]->b.can_pop()) {
       up_.b.push(*devs_[d]->b.pop());
       write_route_.pop_front();
+      progress = true;
     }
   }
+  return progress;
 }
 
 bool LiteBus::busy() const {

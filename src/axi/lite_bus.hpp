@@ -18,7 +18,7 @@ class LiteBus : public sim::Component {
   AxiLitePort& upstream() { return up_; }
   void add_device(const AddrRange& range, AxiLitePort* port);
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   u64 decode_errors() const { return decode_errors_; }

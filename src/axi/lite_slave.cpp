@@ -3,18 +3,22 @@
 namespace rvcap::axi {
 
 AxiLiteSlave::AxiLiteSlave(std::string name, u32 response_latency)
-    : Component(std::move(name)), latency_(response_latency) {}
+    : Component(std::move(name)), latency_(response_latency) {
+  port_.watch(this);
+}
 
-void AxiLiteSlave::tick() {
-  device_tick();
+bool AxiLiteSlave::tick() {
+  bool progress = device_tick();
 
   if (const LiteAr* ar = port_.ar.front()) {
     if (read_wait_ < latency_) {
-      ++read_wait_;
+      ++read_wait_;  // latency countdown is observable state
+      progress = true;
     } else if (port_.r.can_push()) {
       port_.r.push(LiteR{read_reg(ar->addr), Resp::kOkay});
       port_.ar.pop();
       read_wait_ = 0;
+      progress = true;
     }
   }
 
@@ -23,14 +27,17 @@ void AxiLiteSlave::tick() {
   if (aw != nullptr && w != nullptr) {
     if (write_wait_ < latency_) {
       ++write_wait_;
+      progress = true;
     } else if (port_.b.can_push()) {
       write_reg(aw->addr, w->data);
       port_.aw.pop();
       port_.w.pop();
       port_.b.push(LiteB{Resp::kOkay});
       write_wait_ = 0;
+      progress = true;
     }
   }
+  return progress;
 }
 
 bool AxiLiteSlave::busy() const { return !port_.idle() || device_busy(); }

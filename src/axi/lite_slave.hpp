@@ -20,7 +20,7 @@ class AxiLiteSlave : public sim::Component {
 
   AxiLitePort& port() { return port_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
  protected:
@@ -29,8 +29,10 @@ class AxiLiteSlave : public sim::Component {
   virtual u32 read_reg(Addr addr) = 0;
   virtual void write_reg(Addr addr, u32 value) = 0;
 
-  /// Subclasses override to advance internal state each cycle.
-  virtual void device_tick() {}
+  /// Subclasses override to advance internal state each cycle; the
+  /// return value is the activity contract of Component::tick()
+  /// (true iff internal state changed). The default does nothing.
+  virtual bool device_tick() { return false; }
   virtual bool device_busy() const { return false; }
 
  private:

@@ -2,13 +2,24 @@
 
 namespace rvcap::axi {
 
-AxisSwitch::AxisSwitch(std::string name) : Component(std::move(name)) {}
+AxisSwitch::AxisSwitch(std::string name) : Component(std::move(name)) {
+  from_dma_.watch(this);
+  to_icap_.watch(this);
+  to_rm_.watch(this);
+  from_rm_.watch(this);
+  from_icap_.watch(this);
+  to_dma_.watch(this);
+}
 
-void AxisSwitch::tick() {
+bool AxisSwitch::tick() {
+  bool progress = false;
   // Forward path: one beat per cycle toward the selected sink.
   if (from_dma_.can_pop()) {
     AxisFifo& sink = select_icap_ ? to_icap_ : to_rm_;
-    if (sink.can_push()) sink.push(*from_dma_.pop());
+    if (sink.can_push()) {
+      sink.push(*from_dma_.pop());
+      progress = true;
+    }
   }
   // Return path: acceleration mode takes the RM output; in
   // reconfiguration mode the S2MM side carries ICAP readback data and
@@ -16,10 +27,13 @@ void AxisSwitch::tick() {
   if (select_icap_) {
     if (from_icap_.can_pop() && to_dma_.can_push()) {
       to_dma_.push(*from_icap_.pop());
+      progress = true;
     }
   } else if (from_rm_.can_pop() && to_dma_.can_push()) {
     to_dma_.push(*from_rm_.pop());
+    progress = true;
   }
+  return progress;
 }
 
 bool AxisSwitch::busy() const {

@@ -17,8 +17,16 @@ class AxisSwitch : public sim::Component {
   explicit AxisSwitch(std::string name);
 
   /// true = reconfiguration mode (route to ICAP), false = acceleration.
-  void set_select_icap(bool s) { select_icap_ = s; }
+  void set_select_icap(bool s) {
+    select_icap_ = s;
+    wake();
+    select_watchers_.notify();  // gated neighbours re-evaluate routing
+  }
   bool select_icap() const { return select_icap_; }
+
+  /// Wake `c` whenever the select input changes (components whose tick
+  /// reads select_icap() but no FIFO of the switch, e.g. ICAP2AXIS).
+  void watch_select(sim::Component* c) { select_watchers_.add(c); }
 
   AxisFifo& from_dma() { return from_dma_; }   // DMA MM2S output
   AxisFifo& to_icap() { return to_icap_; }     // toward AXIS2ICAP
@@ -27,10 +35,11 @@ class AxisSwitch : public sim::Component {
   AxisFifo& from_icap() { return from_icap_; } // ICAP2AXIS readback data
   AxisFifo& to_dma() { return to_dma_; }       // DMA S2MM input
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
  private:
+  sim::WakeList select_watchers_;
   bool select_icap_ = false;
   AxisFifo from_dma_{4};
   AxisFifo to_icap_{4};

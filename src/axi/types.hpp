@@ -68,6 +68,15 @@ struct AxiPort {
   sim::Fifo<AxiR> r;
   sim::Fifo<AxiB> b;
 
+  /// Wake `c` on any activity on any of the five channels.
+  void watch(sim::Component* c) {
+    aw.watch(c);
+    w.watch(c);
+    ar.watch(c);
+    r.watch(c);
+    b.watch(c);
+  }
+
   bool idle() const {
     return aw.empty() && w.empty() && ar.empty() && r.empty() && b.empty();
   }
@@ -89,6 +98,15 @@ struct AxiLitePort {
   sim::Fifo<LiteAr> ar;
   sim::Fifo<LiteR> r;
   sim::Fifo<LiteB> b;
+
+  /// Wake `c` on any activity on any of the five channels.
+  void watch(sim::Component* c) {
+    aw.watch(c);
+    w.watch(c);
+    ar.watch(c);
+    r.watch(c);
+    b.watch(c);
+  }
 
   bool idle() const {
     return aw.empty() && w.empty() && ar.empty() && r.empty() && b.empty();

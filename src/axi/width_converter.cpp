@@ -9,15 +9,20 @@ Resp worse(Resp a, Resp b) {
 }  // namespace
 
 WidthConverter64To32::WidthConverter64To32(std::string name)
-    : Component(std::move(name)) {}
+    : Component(std::move(name)) {
+  up_.watch(this);
+  down_.watch(this);
+}
 
-void WidthConverter64To32::tick() {
+bool WidthConverter64To32::tick() {
+  bool progress = false;
   // --- read request path: split one upstream AR into 1..2 downstream ARs.
   if (const AxiAr* ar = up_.ar.front()) {
     if (ar->len != 0) {
       if (up_.r.can_push()) {
         up_.r.push(AxiR{0, Resp::kSlvErr, true});
         up_.ar.pop();
+        progress = true;
       }
     } else {
       const u8 halves = (ar->size >= 3) ? 2 : 1;
@@ -33,6 +38,7 @@ void WidthConverter64To32::tick() {
           reads_.push_back(PendingRead{a, 1, 1});
         }
         up_.ar.pop();
+        progress = true;
       }
     }
   }
@@ -46,6 +52,7 @@ void WidthConverter64To32::tick() {
     p.assembled |= (r->data & 0xFFFFFFFFULL) << (high_lane ? 32 : 0);
     p.worst = worse(p.worst, r->resp);
     down_.r.pop();
+    progress = true;
     if (--p.halves_left == 0) {
       if (up_.r.can_push()) {
         up_.r.push(AxiR{p.assembled, p.worst, true});
@@ -64,11 +71,13 @@ void WidthConverter64To32::tick() {
         if (up_.b.can_push()) {
           up_.b.push(AxiB{Resp::kSlvErr});
           up_.aw.pop();
+          progress = true;
         }
       } else {
         cur_aw_ = *aw;
         up_.aw.pop();
         aw_taken_ = true;
+        progress = true;
       }
     }
   }
@@ -83,6 +92,7 @@ void WidthConverter64To32::tick() {
           up_.b.push(AxiB{Resp::kOkay});
           up_.w.pop();
           aw_taken_ = false;
+          progress = true;
         }
       } else if (down_.aw.vacancy() >= halves && down_.w.vacancy() >= halves) {
         const Addr base = cur_aw_.addr & ~Addr{7};
@@ -100,6 +110,7 @@ void WidthConverter64To32::tick() {
         writes_.push_back(PendingWrite{halves});
         up_.w.pop();
         aw_taken_ = false;
+        progress = true;
       }
     }
   }
@@ -113,12 +124,17 @@ void WidthConverter64To32::tick() {
         up_.b.push(AxiB{p.worst});
         down_.b.pop();
         writes_.pop_front();
+        progress = true;
       }
+      // A blocked completion only re-merges the same worst-of resp —
+      // idempotent, so it is not progress; the up_.b pop wakes us.
     } else {
       --p.halves_left;
       down_.b.pop();
+      progress = true;
     }
   }
+  return progress;
 }
 
 bool WidthConverter64To32::busy() const {

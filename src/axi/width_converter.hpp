@@ -27,7 +27,7 @@ class WidthConverter64To32 : public sim::Component {
   /// Link facing the 32-bit device (this component is the manager).
   AxiPort& downstream() { return down_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
  private:

@@ -3,7 +3,8 @@
 // Every component owns its own FIFO ports; where two owned ports face
 // each other, a wire shuttles beats across at one per channel per
 // cycle, like a registered link. Wires are the explicit interconnect
-// glue of the SoC assembly.
+// glue of the SoC assembly. Each wire watches both of its endpoints so
+// it wakes the cycle a beat lands on either side.
 #pragma once
 
 #include "axi/types.hpp"
@@ -15,10 +16,17 @@ namespace rvcap::axi {
 class AxisWire : public sim::Component {
  public:
   AxisWire(std::string name, AxisFifo& from, AxisFifo& to)
-      : Component(std::move(name)), from_(from), to_(to) {}
+      : Component(std::move(name)), from_(from), to_(to) {
+    from_.watch(this);
+    to_.watch(this);
+  }
 
-  void tick() override {
-    if (from_.can_pop() && to_.can_push()) to_.push(*from_.pop());
+  bool tick() override {
+    if (from_.can_pop() && to_.can_push()) {
+      to_.push(*from_.pop());
+      return true;
+    }
+    return false;
   }
   bool busy() const override { return from_.can_pop(); }
 
@@ -32,14 +40,34 @@ class AxisWire : public sim::Component {
 class AxiWire : public sim::Component {
  public:
   AxiWire(std::string name, AxiPort& a, AxiPort& b)
-      : Component(std::move(name)), a_(a), b_(b) {}
+      : Component(std::move(name)), a_(a), b_(b) {
+    a_.watch(this);
+    b_.watch(this);
+  }
 
-  void tick() override {
-    if (a_.ar.can_pop() && b_.ar.can_push()) b_.ar.push(*a_.ar.pop());
-    if (a_.aw.can_pop() && b_.aw.can_push()) b_.aw.push(*a_.aw.pop());
-    if (a_.w.can_pop() && b_.w.can_push()) b_.w.push(*a_.w.pop());
-    if (b_.r.can_pop() && a_.r.can_push()) a_.r.push(*b_.r.pop());
-    if (b_.b.can_pop() && a_.b.can_push()) a_.b.push(*b_.b.pop());
+  bool tick() override {
+    bool moved = false;
+    if (a_.ar.can_pop() && b_.ar.can_push()) {
+      b_.ar.push(*a_.ar.pop());
+      moved = true;
+    }
+    if (a_.aw.can_pop() && b_.aw.can_push()) {
+      b_.aw.push(*a_.aw.pop());
+      moved = true;
+    }
+    if (a_.w.can_pop() && b_.w.can_push()) {
+      b_.w.push(*a_.w.pop());
+      moved = true;
+    }
+    if (b_.r.can_pop() && a_.r.can_push()) {
+      a_.r.push(*b_.r.pop());
+      moved = true;
+    }
+    if (b_.b.can_pop() && a_.b.can_push()) {
+      a_.b.push(*b_.b.pop());
+      moved = true;
+    }
+    return moved;
   }
   bool busy() const override {
     return a_.ar.can_pop() || a_.aw.can_pop() || a_.w.can_pop() ||
@@ -55,14 +83,34 @@ class AxiWire : public sim::Component {
 class LiteWire : public sim::Component {
  public:
   LiteWire(std::string name, AxiLitePort& a, AxiLitePort& b)
-      : Component(std::move(name)), a_(a), b_(b) {}
+      : Component(std::move(name)), a_(a), b_(b) {
+    a_.watch(this);
+    b_.watch(this);
+  }
 
-  void tick() override {
-    if (a_.ar.can_pop() && b_.ar.can_push()) b_.ar.push(*a_.ar.pop());
-    if (a_.aw.can_pop() && b_.aw.can_push()) b_.aw.push(*a_.aw.pop());
-    if (a_.w.can_pop() && b_.w.can_push()) b_.w.push(*a_.w.pop());
-    if (b_.r.can_pop() && a_.r.can_push()) a_.r.push(*b_.r.pop());
-    if (b_.b.can_pop() && a_.b.can_push()) a_.b.push(*b_.b.pop());
+  bool tick() override {
+    bool moved = false;
+    if (a_.ar.can_pop() && b_.ar.can_push()) {
+      b_.ar.push(*a_.ar.pop());
+      moved = true;
+    }
+    if (a_.aw.can_pop() && b_.aw.can_push()) {
+      b_.aw.push(*a_.aw.pop());
+      moved = true;
+    }
+    if (a_.w.can_pop() && b_.w.can_push()) {
+      b_.w.push(*a_.w.pop());
+      moved = true;
+    }
+    if (b_.r.can_pop() && a_.r.can_push()) {
+      a_.r.push(*b_.r.pop());
+      moved = true;
+    }
+    if (b_.b.can_pop() && a_.b.can_push()) {
+      a_.b.push(*b_.b.pop());
+      moved = true;
+    }
+    return moved;
   }
   bool busy() const override {
     return a_.ar.can_pop() || a_.aw.can_pop() || a_.w.can_pop() ||

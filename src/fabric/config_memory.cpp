@@ -65,6 +65,7 @@ void ConfigMemory::write_frame(const FrameAddr& fa,
       ++t.loads_completed;
     }
   }
+  observers_.notify();
 }
 
 const std::vector<u32>* ConfigMemory::frame(const FrameAddr& fa) const {
@@ -82,7 +83,10 @@ bool ConfigMemory::inject_upset(const FrameAddr& fa, u32 word_index,
   return true;
 }
 
-void ConfigMemory::notify_rcrc() { ++epoch_; }
+void ConfigMemory::notify_rcrc() {
+  ++epoch_;
+  observers_.notify();
+}
 
 void ConfigMemory::notify_crc_error() {
   for (Tracker& t : trackers_) {
@@ -92,6 +96,7 @@ void ConfigMemory::notify_crc_error() {
       t.manifest.reset();
     }
   }
+  observers_.notify();
 }
 
 ConfigMemory::PartitionState ConfigMemory::partition_state(

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fabric/geometry.hpp"
+#include "sim/component.hpp"
 
 namespace rvcap::fabric {
 
@@ -44,6 +45,11 @@ class ConfigMemory {
 
   /// Register a partition to be tracked; returns a handle.
   usize register_partition(const Partition& p);
+
+  /// Components whose observable state derives from partition state
+  /// (the RM slots) register here; they are woken whenever a frame
+  /// write or ICAP notification may have changed it.
+  void add_observer(sim::Component* c) { observers_.add(c); }
 
   /// Write one frame (kFrameWords words). Invalid addresses count as
   /// errors and are dropped.
@@ -95,6 +101,7 @@ class ConfigMemory {
   };
 
   const DeviceGeometry& dev_;
+  sim::WakeList observers_;
   std::map<u32, std::vector<u32>> frames_;  // key: FrameAddr::encode()
   std::vector<Tracker> trackers_;
   u64 frames_written_ = 0;

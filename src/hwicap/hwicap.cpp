@@ -7,17 +7,23 @@ namespace rvcap::hwicap {
 HwIcap::HwIcap(std::string name, icap::Icap& icap, u32 write_fifo_depth,
                u32 read_fifo_depth)
     : AxiLiteSlave(std::move(name)), icap_(icap), fifo_(write_fifo_depth),
-      rfifo_(read_fifo_depth) {}
+      rfifo_(read_fifo_depth) {
+  icap_.port().watch(this);       // vacancy reopens the drain
+  icap_.read_port().watch(this);  // readback words arriving
+}
 
-void HwIcap::device_tick() {
+bool HwIcap::device_tick() {
+  bool progress = false;
   if (writing_) {
     // Drain one word per cycle into the ICAP primitive.
     if (fifo_.can_pop() && icap_.port().can_push()) {
       icap_.port().push(*fifo_.pop());
+      progress = true;
     }
     if (fifo_.empty()) {
       writing_ = false;
       isr_ |= kIsrDone;
+      progress = true;
     }
   }
   if (read_left_ > 0) {
@@ -25,8 +31,10 @@ void HwIcap::device_tick() {
     if (icap_.read_port().can_pop() && rfifo_.can_push()) {
       rfifo_.push(*icap_.read_port().pop());
       if (--read_left_ == 0) isr_ |= kIsrDone;
+      progress = true;
     }
   }
+  return progress;
 }
 
 u32 HwIcap::read_reg(Addr addr) {

@@ -48,7 +48,7 @@ class HwIcap : public axi::AxiLiteSlave {
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;
-  void device_tick() override;
+  bool device_tick() override;
   bool device_busy() const override;
 
  private:

@@ -13,20 +13,22 @@ using bitstream::PacketOp;
 Icap::Icap(std::string name, fabric::ConfigMemory& cfg)
     : Component(std::move(name)), cfg_(cfg) {
   frame_buf_.reserve(fabric::kFrameWords);
+  in_.watch(this);     // words arriving on the write port
+  rdata_.watch(this);  // reader draining the readback FIFO
 }
 
-void Icap::tick() {
-  ++now_;
+bool Icap::tick() {
   // Half-duplex 32-bit port: while a readback drains, input stalls.
   if (read_words_left_ > 0) {
-    emit_read_word();
-    return;
+    return emit_read_word();
   }
   // One 32-bit word per cycle: the 400 MB/s physical ceiling.
   if (auto w = in_.pop()) {
     ++words_;
     consume(*w);
+    return true;
   }
+  return false;
 }
 
 bool Icap::busy() const { return in_.can_pop() || read_words_left_ > 0; }
@@ -52,8 +54,8 @@ void Icap::start_readback(u32 words) {
   read_word_in_frame_ = 0;
 }
 
-void Icap::emit_read_word() {
-  if (!rdata_.can_push()) return;  // reader back-pressure
+bool Icap::emit_read_word() {
+  if (!rdata_.can_push()) return false;  // reader back-pressure
   const fabric::FrameAddr fa = fabric::FrameAddr::decode(far_);
   const std::vector<u32>* frame = cfg_.frame(fa);
   const u32 word = (frame != nullptr && read_word_in_frame_ < frame->size())
@@ -67,6 +69,7 @@ void Icap::emit_read_word() {
     if (cfg_.device().next_frame(&next)) far_ = next.encode();
   }
   --read_words_left_;
+  return true;
 }
 
 void Icap::consume(u32 word) {
@@ -197,7 +200,10 @@ void Icap::reg_write(u32 reg, u32 data) {
           wcfg_ = false;
           frame_buf_.clear();
           ++desyncs_;
-          last_desync_ = now_;
+          // The legacy per-component counter was pre-incremented at the
+          // top of tick(), so a DESYNC during the tick at cycle T
+          // recorded T+1; preserved for bit-identical journals.
+          last_desync_ = sim_now() + 1;
           break;
         case Cmd::kNull:
         case Cmd::kLfrm:

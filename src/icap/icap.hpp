@@ -32,7 +32,7 @@ class Icap : public sim::Component {
   /// draining, the (half-duplex) port does not consume input words.
   sim::Fifo<u32>& read_port() { return rdata_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   // ---- status ----
@@ -88,7 +88,7 @@ class Icap : public sim::Component {
   u32 read_word_in_frame_ = 0;
   u64 words_read_back_ = 0;
   void start_readback(u32 words);
-  void emit_read_word();
+  bool emit_read_word();
 
   u32 far_ = 0;
   std::vector<u32> frame_buf_;
@@ -101,7 +101,6 @@ class Icap : public sim::Component {
   u64 frames_committed_ = 0;
   u64 desyncs_ = 0;
   Cycles last_desync_ = 0;
-  Cycles now_ = 0;
   sim::FaultInjector* fault_ = nullptr;
 };
 

@@ -4,20 +4,13 @@ namespace rvcap::irq {
 
 Clint::Clint(std::string name) : AxiLiteSlave(std::move(name)) {}
 
-void Clint::device_tick() {
-  if (++divider_ >= kCyclesPerClintTick) {
-    divider_ = 0;
-    ++mtime_;
-  }
-}
-
 u32 Clint::read_reg(Addr addr) {
   switch (addr & 0xFFFF) {
     case kMsip: return msip_ ? 1 : 0;
     case kMtimecmpLo: return static_cast<u32>(mtimecmp_);
     case kMtimecmpHi: return static_cast<u32>(mtimecmp_ >> 32);
-    case kMtimeLo: return static_cast<u32>(mtime_);
-    case kMtimeHi: return static_cast<u32>(mtime_ >> 32);
+    case kMtimeLo: return static_cast<u32>(mtime_at_tick());
+    case kMtimeHi: return static_cast<u32>(mtime_at_tick() >> 32);
     default: return 0;
   }
 }

@@ -5,6 +5,14 @@
 // software timer modules read mtime before/after the transfer (§IV-B).
 // The reproduction therefore reports times with the same 200 ns
 // quantization the authors had.
+//
+// mtime is derived lazily from simulation time instead of counted by a
+// per-cycle divider, so an idle CLINT can sleep under the scheduled
+// kernel without freezing the clock. The derivation reproduces the
+// legacy divider bit-exactly: a register read during the device's tick
+// at cycle T observed floor((T+1)/20) (the divider advanced before the
+// read was served), while host-side accessors between cycles at time N
+// observe floor(N/20).
 #pragma once
 
 #include "axi/lite_slave.hpp"
@@ -24,20 +32,22 @@ class Clint : public axi::AxiLiteSlave {
   explicit Clint(std::string name);
 
   /// Raw 5 MHz counter value (backdoor for assertions).
-  u64 mtime() const { return mtime_; }
-  bool timer_irq_pending() const { return mtime_ >= mtimecmp_; }
+  u64 mtime() const { return sim_now() / kCyclesPerClintTick; }
+  bool timer_irq_pending() const { return mtime() >= mtimecmp_; }
   bool software_irq_pending() const { return msip_; }
 
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;
-  void device_tick() override;
 
  private:
-  u64 mtime_ = 0;
+  /// mtime as seen by a bus read served during this device's tick.
+  u64 mtime_at_tick() const {
+    return (sim_now() + 1) / kCyclesPerClintTick;
+  }
+
   u64 mtimecmp_ = ~u64{0};
   bool msip_ = false;
-  u32 divider_ = 0;  // core cycles since last 5 MHz tick
 };
 
 }  // namespace rvcap::irq

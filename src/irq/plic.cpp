@@ -12,14 +12,22 @@ Plic::Plic(std::string name, u32 num_sources)
 
 void Plic::set_source_level(u32 source, bool level) {
   if (source == 0 || source >= level_.size()) return;
-  level_[source] = level;
+  if (level_[source] != level) {
+    level_[source] = level;
+    wake();
+  }
 }
 
-void Plic::device_tick() {
+bool Plic::device_tick() {
   // Gateways: latch pending on high level unless already in flight.
+  bool latched = false;
   for (u32 s = 1; s < level_.size(); ++s) {
-    if (level_[s] && !in_flight_[s]) pending_[s] = true;
+    if (level_[s] && !in_flight_[s] && !pending_[s]) {
+      pending_[s] = true;
+      latched = true;
+    }
   }
+  return latched;
 }
 
 u32 Plic::best_pending() const {

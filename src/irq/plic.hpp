@@ -25,7 +25,8 @@ class Plic : public axi::AxiLiteSlave {
   Plic(std::string name, u32 num_sources);
 
   /// Drive a source's level (device-side). Source ids start at 1, as in
-  /// the PLIC spec; source 0 means "no interrupt".
+  /// the PLIC spec; source 0 means "no interrupt". Wakes the PLIC on a
+  /// level change so the gateway can latch under the scheduled kernel.
   void set_source_level(u32 source, bool level);
 
   /// True when an enabled pending source exceeds the threshold — the
@@ -37,7 +38,7 @@ class Plic : public axi::AxiLiteSlave {
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;
-  void device_tick() override;
+  bool device_tick() override;
 
  private:
   u32 best_pending() const;

@@ -7,7 +7,9 @@
 namespace rvcap::mem {
 
 DdrController::DdrController(std::string name, const Config& cfg)
-    : Component(std::move(name)), cfg_(cfg) {}
+    : Component(std::move(name)), cfg_(cfg) {
+  port_.watch(this);
+}
 
 u8* DdrController::page_for(Addr addr) {
   const u64 key = addr >> kPageShift;
@@ -42,22 +44,35 @@ void DdrController::write_beat(Addr addr, u64 data, u8 strb) {
   }
 }
 
-void DdrController::tick() {
+bool DdrController::tick() {
+  bool progress = false;
   // Accept new requests (address channels are independent of the data bus).
   if (const axi::AxiAr* ar = port_.ar.front()) {
     reads_.push_back(ReadJob{ar->addr, u32{ar->len} + 1, cfg_.read_latency});
     port_.ar.pop();
+    progress = true;
   }
   if (const axi::AxiAw* aw = port_.aw.front()) {
     writes_.push_back(WriteJob{aw->addr, u32{aw->len} + 1, cfg_.write_latency});
     port_.aw.pop();
+    progress = true;
   }
 
-  // Latency countdowns overlap across queued jobs (pipelined controller).
-  for (auto& j : reads_)
-    if (j.wait > 0) --j.wait;
-  for (auto& j : writes_)
-    if (j.data_done && j.wait > 0) --j.wait;
+  // Latency countdowns overlap across queued jobs (pipelined controller);
+  // each decrement is observable state, keeping the controller awake
+  // while bursts are in flight.
+  for (auto& j : reads_) {
+    if (j.wait > 0) {
+      --j.wait;
+      progress = true;
+    }
+  }
+  for (auto& j : writes_) {
+    if (j.data_done && j.wait > 0) {
+      --j.wait;
+      progress = true;
+    }
+  }
 
   // Full-duplex data movement: the AXI R and W channels are
   // independent, one beat each per cycle.
@@ -67,6 +82,7 @@ void DdrController::tick() {
     write_beat(j.addr, w.data, w.strb);
     j.addr += 8;
     ++beats_;
+    progress = true;
     if (--j.beats_left == 0) j.data_done = true;
   }
   if (!reads_.empty() && reads_.front().wait == 0 && port_.r.can_push()) {
@@ -75,6 +91,7 @@ void DdrController::tick() {
     port_.r.push(axi::AxiR{read_beat(j.addr), axi::Resp::kOkay, last});
     j.addr += 8;
     ++beats_;
+    progress = true;
     if (--j.beats_left == 0) reads_.pop_front();
   }
 
@@ -84,8 +101,10 @@ void DdrController::tick() {
     if (j.data_done && j.wait == 0 && port_.b.can_push()) {
       port_.b.push(axi::AxiB{axi::Resp::kOkay});
       writes_.pop_front();
+      progress = true;
     }
   }
+  return progress;
 }
 
 bool DdrController::busy() const {

@@ -43,7 +43,7 @@ class DdrController : public sim::Component {
   axi::AxiPort& port() { return port_; }
   u64 size_bytes() const { return cfg_.size_bytes; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   // ---- backdoor access (no simulation time) ----

@@ -6,7 +6,9 @@ namespace rvcap::mem {
 
 AxiSram::AxiSram(std::string name, u64 size_bytes, Addr bus_base)
     : Component(std::move(name)), bus_base_(bus_base),
-      data_(size_bytes, 0) {}
+      data_(size_bytes, 0) {
+  port_.watch(this);
+}
 
 u64 AxiSram::read_beat(Addr a) const {
   a &= ~Addr{7};
@@ -24,23 +26,27 @@ void AxiSram::write_beat(Addr a, u64 data, u8 strb) {
   }
 }
 
-void AxiSram::tick() {
+bool AxiSram::tick() {
+  bool progress = false;
   if (const axi::AxiAr* ar = port_.ar.front()) {
     // Subordinates see bus addresses; translate to in-window offsets.
     reads_.push_back(
         ReadJob{(ar->addr - bus_base_) % data_.size(), u32{ar->len} + 1});
     port_.ar.pop();
+    progress = true;
   }
   if (const axi::AxiAw* aw = port_.aw.front()) {
     writes_.push_back(
         WriteJob{(aw->addr - bus_base_) % data_.size(), u32{aw->len} + 1});
     port_.aw.pop();
+    progress = true;
   }
   if (!reads_.empty() && port_.r.can_push()) {
     ReadJob& j = reads_.front();
     port_.r.push(axi::AxiR{read_beat(j.addr), axi::Resp::kOkay,
                            j.beats_left == 1});
     j.addr += 8;
+    progress = true;
     if (--j.beats_left == 0) reads_.pop_front();
   }
   if (!writes_.empty() && port_.w.can_pop()) {
@@ -48,6 +54,7 @@ void AxiSram::tick() {
     const axi::AxiW w = *port_.w.pop();
     write_beat(j.addr, w.data, w.strb);
     j.addr += 8;
+    progress = true;
     if (--j.beats_left == 0) {
       writes_.pop_front();
       ++pending_b_;
@@ -56,7 +63,9 @@ void AxiSram::tick() {
   if (pending_b_ > 0 && port_.b.can_push()) {
     port_.b.push(axi::AxiB{axi::Resp::kOkay});
     --pending_b_;
+    progress = true;
   }
+  return progress;
 }
 
 bool AxiSram::busy() const {

@@ -23,7 +23,7 @@ class AxiSram : public sim::Component {
   axi::AxiPort& port() { return port_; }
   u64 size_bytes() const { return data_.size(); }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   // Backdoor.

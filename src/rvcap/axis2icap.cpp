@@ -4,16 +4,19 @@ namespace rvcap::rvcap_ctrl {
 
 Axis2Icap::Axis2Icap(std::string name, axi::AxisFifo& in,
                      sim::Fifo<u32>& icap_port)
-    : Component(std::move(name)), in_(in), out_(icap_port) {}
+    : Component(std::move(name)), in_(in), out_(icap_port) {
+  in_.watch(this);
+  out_.watch(this);
+}
 
-void Axis2Icap::tick() {
-  if (!out_.can_push()) return;  // ICAP back-pressure
+bool Axis2Icap::tick() {
+  if (!out_.can_push()) return false;  // ICAP back-pressure
 
   if (have_high_) {
     out_.push(high_word_);
     ++words_;
     have_high_ = false;
-    return;
+    return true;
   }
   if (const axi::AxisBeat* b = in_.front()) {
     const u32 lo = static_cast<u32>(b->data & 0xFFFFFFFF);
@@ -26,7 +29,9 @@ void Axis2Icap::tick() {
       have_high_ = true;
     }
     in_.pop();
+    return true;
   }
+  return false;
 }
 
 bool Axis2Icap::busy() const { return have_high_ || in_.can_pop(); }

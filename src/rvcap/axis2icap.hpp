@@ -21,7 +21,7 @@ class Axis2Icap : public sim::Component {
  public:
   Axis2Icap(std::string name, axi::AxisFifo& in, sim::Fifo<u32>& icap_port);
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   u64 words_emitted() const { return words_; }
@@ -31,6 +31,7 @@ class Axis2Icap : public sim::Component {
   void reset_stream() {
     have_high_ = false;
     high_word_ = 0;
+    wake();
   }
 
  private:

@@ -11,7 +11,10 @@ using bitstream::kZeroTag;
 
 Decompressor::Decompressor(std::string name, axi::AxisFifo& in,
                            axi::AxisFifo& out)
-    : Component(std::move(name)), in_(in), out_(out) {}
+    : Component(std::move(name)), in_(in), out_(out) {
+  in_.watch(this);
+  out_.watch(this);
+}
 
 void Decompressor::set_enabled(bool e) {
   enabled_ = e;
@@ -21,6 +24,7 @@ void Decompressor::set_enabled(bool e) {
   have_pending_out_ = false;
   saw_last_in_ = false;
   format_error_ = false;
+  wake();
 }
 
 bool Decompressor::next_input_word(u32* w) {
@@ -57,32 +61,46 @@ void Decompressor::emit_word(u32 w) {
   have_pending_out_ = false;
 }
 
-void Decompressor::tick() {
+bool Decompressor::tick() {
   if (!enabled_) {
     // Passthrough wire.
-    if (in_.can_pop() && out_.can_push()) out_.push(*in_.pop());
-    return;
+    if (in_.can_pop() && out_.can_push()) {
+      out_.push(*in_.pop());
+      return true;
+    }
+    return false;
   }
-  if (format_error_) return;
-  if (!out_.can_push()) return;  // downstream back-pressure
+  if (format_error_) return false;
+  if (!out_.can_push()) return false;  // downstream back-pressure
+
+  // Every decoder transition either consumes an input word or emits an
+  // output word, so these counters (plus the half-beat flush below)
+  // capture all observable progress.
+  const u64 in0 = words_in_;
+  const u64 out0 = words_out_;
+  const bool pend0 = have_pending_out_;
+  const auto moved = [&] {
+    return words_in_ != in0 || words_out_ != out0 ||
+           have_pending_out_ != pend0;
+  };
 
   // Emit at most one beat (two words) per cycle.
   for (int half = 0; half < 2; ++half) {
     switch (state_) {
       case State::kMagic: {
         u32 w;
-        if (!next_input_word(&w)) return;
+        if (!next_input_word(&w)) return moved();
         if (w != kCompressMagic) {
           format_error_ = true;
           log_warn("decompressor: bad magic 0x", std::hex, w);
-          return;
+          return moved();
         }
         state_ = State::kHeader;
         break;
       }
       case State::kHeader: {
         u32 w;
-        if (!next_input_word(&w)) return;
+        if (!next_input_word(&w)) return moved();
         const u32 tag = w >> 28;
         run_left_ = w & kRunCountMask;
         if (tag == kLiteralTag) {
@@ -92,13 +110,13 @@ void Decompressor::tick() {
         } else {
           format_error_ = true;
           log_warn("decompressor: bad record tag");
-          return;
+          return moved();
         }
         break;
       }
       case State::kLiteral: {
         u32 w;
-        if (!next_input_word(&w)) return;
+        if (!next_input_word(&w)) return moved();
         emit_word(w);
         if (--run_left_ == 0) state_ = State::kHeader;
         break;
@@ -117,6 +135,7 @@ void Decompressor::tick() {
     out_.push(axi::AxisBeat{u64{bswap(pending_out_)}, 0x0F, true});
     have_pending_out_ = false;
   }
+  return moved();
 }
 
 bool Decompressor::busy() const {

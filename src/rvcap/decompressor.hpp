@@ -23,7 +23,7 @@ class Decompressor : public sim::Component {
   void set_enabled(bool e);
   bool enabled() const { return enabled_; }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   u64 words_in() const { return words_in_; }
@@ -41,6 +41,7 @@ class Decompressor : public sim::Component {
     state_ = State::kMagic;
     run_left_ = 0;
     format_error_ = false;
+    wake();
   }
 
  private:

@@ -9,6 +9,9 @@ namespace rvcap::rvcap_ctrl {
 AxiDma::AxiDma(std::string name, const Config& cfg)
     : AxiLiteSlave(std::move(name)), cfg_(cfg) {
   s2mm_buf_.reserve(cfg_.max_burst_beats);
+  mem_.watch(this);
+  mm2s_out_.watch(this);
+  s2mm_in_.watch(this);
 }
 
 u32 AxiDma::read_reg(Addr addr) {
@@ -124,13 +127,14 @@ void AxiDma::write_reg(Addr addr, u32 value) {
   update_irqs();
 }
 
-void AxiDma::device_tick() {
-  tick_mm2s();
-  tick_s2mm();
-  update_irqs();
+bool AxiDma::device_tick() {
+  const bool mm2s = tick_mm2s();
+  const bool s2mm = tick_s2mm();
+  if (mm2s || s2mm) update_irqs();
+  return mm2s || s2mm;
 }
 
-void AxiDma::tick_mm2s() {
+bool AxiDma::tick_mm2s() {
   if (!mm2s_job_.has_value()) {
     // Drain read data from bursts that were in flight when the job
     // ended early (injected error or premature IOC); left in place it
@@ -138,10 +142,12 @@ void AxiDma::tick_mm2s() {
     if (mem_.r.can_pop()) {
       const axi::AxiR r = *mem_.r.pop();
       if (r.last && mm2s_bursts_outstanding_ > 0) --mm2s_bursts_outstanding_;
+      return true;
     }
-    return;
+    return false;
   }
-  if (mm2s_stalled_) return;  // injected wedge: no progress until reset
+  if (mm2s_stalled_) return false;  // injected wedge: sleeps until reset
+  bool progress = false;
   Mm2sJob& j = *mm2s_job_;
 
   // Issue read bursts, keeping up to max_outstanding in flight.
@@ -156,6 +162,7 @@ void AxiDma::tick_mm2s() {
     j.bytes_left_to_request -=
         std::min<u64>(j.bytes_left_to_request, u64{beats} * 8);
     ++mm2s_bursts_outstanding_;
+    progress = true;
   }
 
   // Move read data into the output stream, one beat per cycle.
@@ -170,7 +177,7 @@ void AxiDma::tick_mm2s() {
       mm2s_fault_beat_ = 0;
       mm2s_cr_ &= ~kCrRunStop;
       mm2s_sr_ |= kSrDmaSlvErr | kSrErrIrq | kSrHalted;
-      return;
+      return true;
     }
     const bool early = (mm2s_early_ioc_beat_ != 0 &&
                         mm2s_beats_streamed_ == mm2s_early_ioc_beat_);
@@ -184,11 +191,14 @@ void AxiDma::tick_mm2s() {
       mm2s_sr_ |= kSrIdle | kSrIocIrq;
       ++mm2s_done_count_;
     }
+    progress = true;
   }
+  return progress;
 }
 
-void AxiDma::tick_s2mm() {
-  if (!s2mm_job_.has_value()) return;
+bool AxiDma::tick_s2mm() {
+  if (!s2mm_job_.has_value()) return false;
+  bool progress = false;
   S2mmJob& j = *s2mm_job_;
 
   // Accept stream beats into the burst buffer, one per cycle.
@@ -197,6 +207,7 @@ void AxiDma::tick_s2mm() {
     const axi::AxisBeat b = *s2mm_in_.pop();
     s2mm_buf_.push_back(b);
     j.bytes_left -= std::min<u64>(j.bytes_left, std::popcount(b.keep));
+    progress = true;
   }
 
   // Flush a full burst (or the final partial burst).
@@ -212,18 +223,22 @@ void AxiDma::tick_s2mm() {
     j.addr += s2mm_buf_.size() * 8;
     s2mm_buf_.clear();
     ++j.bursts_in_flight;
+    progress = true;
   }
 
   // Retire write responses.
   if (mem_.b.can_pop()) {
     mem_.b.pop();
     --j.bursts_in_flight;
+    progress = true;
   }
 
   if (j.bytes_left == 0 && s2mm_buf_.empty() && j.bursts_in_flight == 0) {
     s2mm_job_.reset();
     s2mm_sr_ |= kSrIdle | kSrIocIrq;
+    progress = true;
   }
+  return progress;
 }
 
 void AxiDma::update_irqs() {

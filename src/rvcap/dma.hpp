@@ -77,7 +77,7 @@ class AxiDma : public axi::AxiLiteSlave {
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;
-  void device_tick() override;
+  bool device_tick() override;
   bool device_busy() const override;
 
  private:
@@ -93,8 +93,8 @@ class AxiDma : public axi::AxiLiteSlave {
     u32 beats_buffered = 0;  // beats accepted but burst not yet issued
   };
 
-  void tick_mm2s();
-  void tick_s2mm();
+  bool tick_mm2s();
+  bool tick_s2mm();
   void update_irqs();
 
   Config cfg_;

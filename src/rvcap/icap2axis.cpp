@@ -4,22 +4,26 @@ namespace rvcap::rvcap_ctrl {
 
 Icap2Axis::Icap2Axis(std::string name, sim::Fifo<u32>& icap_read_port,
                      axi::AxisFifo& out)
-    : Component(std::move(name)), in_(icap_read_port), out_(out) {}
+    : Component(std::move(name)), in_(icap_read_port), out_(out) {
+  in_.watch(this);
+  out_.watch(this);
+}
 
-void Icap2Axis::tick() {
+bool Icap2Axis::tick() {
   // One 32-bit word per cycle from the port; a beat leaves every two.
-  if (gate_ != nullptr && !gate_->select_icap()) return;
-  if (!in_.can_pop()) return;
+  if (gate_ != nullptr && !gate_->select_icap()) return false;
+  if (!in_.can_pop()) return false;
   if (!have_low_) {
     low_word_ = bswap(*in_.pop());
     have_low_ = true;
-    return;
+    return true;
   }
-  if (!out_.can_push()) return;  // hold the high word until space frees
+  if (!out_.can_push()) return false;  // hold high word until space frees
   const u32 high = bswap(*in_.pop());
   out_.push(axi::AxisBeat{(u64{high} << 32) | low_word_, 0xFF, false});
   ++beats_;
   have_low_ = false;
+  return true;
 }
 
 bool Icap2Axis::busy() const {

@@ -19,10 +19,14 @@ class Icap2Axis : public sim::Component {
 
   /// Only capture from the (shared) ICAP read port while the stream
   /// switch routes the ICAP — otherwise another controller (e.g. the
-  /// AXI_HWICAP's read FIFO) owns the readback data.
-  void set_gate(const axi::AxisSwitch* sw) { gate_ = sw; }
+  /// AXI_HWICAP's read FIFO) owns the readback data. Registers for
+  /// select-change wakeups so an un-gating reopens the pipeline.
+  void set_gate(axi::AxisSwitch* sw) {
+    gate_ = sw;
+    if (sw != nullptr) sw->watch_select(this);
+  }
 
-  void tick() override;
+  bool tick() override;
   bool busy() const override;
 
   u64 beats_emitted() const { return beats_; }

@@ -1,17 +1,102 @@
-// Base class for clocked hardware components.
+// Base class for clocked hardware components, plus the activity
+// contract of the quiescence-aware kernel (DESIGN.md §9).
+//
+// A component's tick() now reports whether it made progress. The
+// scheduled kernel uses that to let quiescent components sleep; wake
+// sources (Fifo, ConfigMemory, AxisSwitch — anything a sleeping
+// component's next tick could observe) re-activate them through
+// Component::wake(). The contract that makes sleeping sound:
+//
+//   * tick() returns true iff it changed any observable state (moved a
+//     beat, advanced a counter, latched a register). A false-returning
+//     tick would stay a no-op if re-run, until an external event fires.
+//   * A component registers itself (via Fifo::watch etc.) on EVERY
+//     channel its tick reads or writes — its own and its neighbours'.
+//     Spurious wakes are harmless (the extra tick changes nothing);
+//     missing wakes are bugs (the component sleeps through work).
 #pragma once
 
+#include <cassert>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace rvcap::sim {
 
-/// A clocked component. The Simulator calls tick() exactly once per core
-/// clock cycle, in registration order. Components communicate only
-/// through Fifo channels, so the (deterministic) tick order introduces at
-/// most one cycle of skew on any link — negligible at the 10^5-cycle
+class Component;
+class Simulator;
+
+/// Fixed-capacity list of components to re-activate on an event.
+/// Channel primitives embed one. Capacity covers the widest fan-out in
+/// the SoC; overflow asserts instead of silently dropping a watcher
+/// (a dropped watcher would sleep through its wake and diverge).
+class WakeList {
+ public:
+  static constexpr usize kCapacity = 8;
+
+  void add(Component* c) {
+    for (usize i = 0; i < count_; ++i) {
+      if (watchers_[i] == c) return;  // idempotent
+    }
+    assert(count_ < kCapacity && "WakeList overflow: raise kCapacity");
+    watchers_[count_++] = c;
+  }
+
+  inline void notify() const;  // defined after Component
+
+ private:
+  Component* watchers_[kCapacity] = {};
+  usize count_ = 0;
+};
+
+/// Dense bitset over component slots — the scheduled kernel's active
+/// set. Scanned word-by-word in ascending slot order so the intra-cycle
+/// tick order is exactly registration order, as in the flat loop.
+class ActiveSet {
+ public:
+  void resize(usize bits) { words_.resize((bits + 63) / 64, 0); }
+
+  /// Set bit i; returns true when it was previously clear.
+  bool set(usize i) {
+    u64& w = words_[i >> 6];
+    const u64 m = u64{1} << (i & 63);
+    if ((w & m) != 0) return false;
+    w |= m;
+    return true;
+  }
+
+  bool test(usize i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  bool none() const {
+    for (const u64 w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  std::vector<u64>& words() { return words_; }
+  const std::vector<u64>& words() const { return words_; }
+
+ private:
+  std::vector<u64> words_;
+};
+
+/// Kernel state shared between the Simulator and every registered
+/// component, so Component::wake() is a couple of inline instructions.
+struct KernelHooks {
+  ActiveSet active;
+  u64 wakeups = 0;          // sleep -> active transitions
+  usize sleeping_busy = 0;  // sleepers whose busy() was true at sleep
+};
+
+/// A clocked component. The Simulator calls tick() at most once per
+/// core clock cycle, in registration order. Components communicate only
+/// through Fifo channels, so the (deterministic) tick order introduces
+/// at most one cycle of skew on any link — negligible at the 10^5-cycle
 /// scale of the paper's measurements and fully reproducible.
 class Component {
  public:
@@ -21,8 +106,11 @@ class Component {
   Component(const Component&) = delete;
   Component& operator=(const Component&) = delete;
 
-  /// Advance one core-clock cycle.
-  virtual void tick() = 0;
+  /// Advance one core-clock cycle. Returns whether the tick made
+  /// progress (see the activity contract above). The flat kernel
+  /// ignores the return value; the scheduled kernel parks the
+  /// component after a false return until something wakes it.
+  virtual bool tick() = 0;
 
   /// True while the component has unfinished internal work. The
   /// simulator's run_until_idle() uses this to detect quiescence.
@@ -30,8 +118,42 @@ class Component {
 
   std::string_view name() const { return name_; }
 
+  /// Re-activate this component. If its tick turn for the current
+  /// cycle has not passed yet it runs this cycle, otherwise next
+  /// cycle — exactly when the flat loop would have it observe the
+  /// event. No-op before registration; waking an awake component is
+  /// free.
+  void wake() {
+    if (hooks_ == nullptr) return;
+    if (!hooks_->active.set(slot_)) return;
+    ++hooks_->wakeups;
+    if (sleeping_busy_) {
+      sleeping_busy_ = false;
+      --hooks_->sleeping_busy;
+    }
+  }
+
+  /// Idle-until hint: schedule a wake at absolute cycle t (no-op
+  /// before registration; t <= now wakes immediately).
+  void wake_at(Cycles t);
+
+  /// Current simulation time, readable from inside tick(). 0 before
+  /// registration with a Simulator.
+  Cycles sim_now() const { return now_ptr_ != nullptr ? *now_ptr_ : 0; }
+
  private:
+  friend class Simulator;
+
   std::string name_;
+  KernelHooks* hooks_ = nullptr;    // set by Simulator::add()
+  const Cycles* now_ptr_ = nullptr;
+  Simulator* sim_ = nullptr;
+  u32 slot_ = 0;
+  bool sleeping_busy_ = false;
 };
+
+inline void WakeList::notify() const {
+  for (usize i = 0; i < count_; ++i) watchers_[i]->wake();
+}
 
 }  // namespace rvcap::sim

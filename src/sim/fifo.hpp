@@ -6,6 +6,14 @@
 // which is exactly AXI back-pressure; a consumer draining at most one
 // element per tick models a 1-beat-per-cycle port. Throughput therefore
 // emerges from structure, not from annotated delays.
+//
+// The FIFO doubles as the kernel's wake source: components register via
+// watch(), and every successful push, successful pop, and clear
+// re-activates all watchers. A push wakes the sleeping consumer the
+// cycle data arrives; a pop wakes a producer that went to sleep on
+// back-pressure. Watchers include the endpoint that caused the event —
+// a self-wake is harmless (its next tick either makes progress or
+// returns false and re-sleeps).
 #pragma once
 
 #include <cassert>
@@ -14,6 +22,7 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "sim/component.hpp"
 
 namespace rvcap::sim {
 
@@ -30,11 +39,17 @@ class Fifo {
   usize capacity() const { return capacity_; }
   usize vacancy() const { return capacity_ - q_.size(); }
 
+  /// Register a component to be re-activated whenever this FIFO's
+  /// state changes. Every component must watch every FIFO its tick
+  /// reads OR writes (see the activity contract in component.hpp).
+  void watch(Component* c) { watchers_.add(c); }
+
   /// Push; returns false (and drops nothing) when full.
   bool push(T v) {
     if (full()) return false;
     q_.push_back(std::move(v));
     ++pushed_;
+    watchers_.notify();
     return true;
   }
 
@@ -47,10 +62,14 @@ class Fifo {
     T v = std::move(q_.front());
     q_.pop_front();
     ++popped_;
+    watchers_.notify();
     return v;
   }
 
-  void clear() { q_.clear(); }
+  void clear() {
+    q_.clear();
+    watchers_.notify();
+  }
 
   /// Lifetime counters (used by tests and throughput probes).
   u64 total_pushed() const { return pushed_; }
@@ -59,6 +78,7 @@ class Fifo {
  private:
   usize capacity_;
   std::deque<T> q_;
+  WakeList watchers_;
   u64 pushed_ = 0;
   u64 popped_ = 0;
 };

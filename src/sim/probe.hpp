@@ -1,10 +1,13 @@
 // Measurement probes: non-intrusive utilization counters over FIFO
 // links.
 //
-// A probe samples a Fifo's lifetime push counter each cycle and tracks
-// transfer activity over a window, giving benches link-utilization
-// numbers (e.g. "the ICAP port was busy 99.4% of the transfer") without
-// touching the components themselves.
+// A probe watches a Fifo and samples its lifetime pop counter, giving
+// benches link-utilization numbers (e.g. "the ICAP port was busy 99.4%
+// of the transfer") without touching the components themselves. The
+// probe is quiescence-friendly: it only ticks on cycles following link
+// activity (every pop wakes it), and derives the window length from
+// simulation time instead of counting its own ticks — so flat and
+// scheduled kernels report identical numbers.
 #pragma once
 
 #include "sim/component.hpp"
@@ -15,45 +18,49 @@ namespace rvcap::sim {
 template <typename T>
 class ThroughputProbe : public Component {
  public:
-  ThroughputProbe(std::string name, const Fifo<T>& link)
+  ThroughputProbe(std::string name, Fifo<T>& link)
       : Component(std::move(name)), link_(link),
-        last_count_(link.total_popped()) {}
+        last_count_(link.total_popped()) {
+    link_.watch(this);
+  }
 
-  void tick() override {
-    ++cycles_;
-    const u64 now = link_.total_popped();
-    if (now != last_count_) {
-      transfers_ += now - last_count_;
+  bool tick() override {
+    const u64 count = link_.total_popped();
+    if (count != last_count_) {
+      transfers_ += count - last_count_;
       ++active_cycles_;
-      last_count_ = now;
+      last_count_ = count;
     }
+    // Observational only: never keeps the simulation awake.
+    return false;
   }
 
   /// Restart the measurement window.
   void reset() {
-    cycles_ = 0;
+    window_start_ = sim_now();
     active_cycles_ = 0;
     transfers_ = 0;
     last_count_ = link_.total_popped();
   }
 
-  Cycles window_cycles() const { return cycles_; }
+  Cycles window_cycles() const { return sim_now() - window_start_; }
   u64 transfers() const { return transfers_; }
 
   /// Fraction of cycles with at least one transfer, 0..1.
   double utilization() const {
-    return cycles_ == 0 ? 0.0
-                        : static_cast<double>(active_cycles_) / cycles_;
+    const Cycles w = window_cycles();
+    return w == 0 ? 0.0 : static_cast<double>(active_cycles_) / w;
   }
   /// Average transfers per cycle over the window.
   double rate() const {
-    return cycles_ == 0 ? 0.0 : static_cast<double>(transfers_) / cycles_;
+    const Cycles w = window_cycles();
+    return w == 0 ? 0.0 : static_cast<double>(transfers_) / w;
   }
 
  private:
-  const Fifo<T>& link_;
+  Fifo<T>& link_;
   u64 last_count_;
-  Cycles cycles_ = 0;
+  Cycles window_start_ = 0;
   Cycles active_cycles_ = 0;
   u64 transfers_ = 0;
 };

@@ -1,7 +1,12 @@
-// Intentionally header-only kernel; this TU anchors the library target.
 #include "sim/simulator.hpp"
 
 namespace rvcap::sim {
-// No out-of-line definitions: Simulator is header-only for inlining in
-// the hot tick loop.
+
+// Out-of-line: component.hpp only forward-declares Simulator, keeping
+// the hot wake() path header-inline without an include cycle.
+void Component::wake_at(Cycles t) {
+  if (sim_ == nullptr) return;
+  sim_->schedule_wake(slot_, t);
+}
+
 }  // namespace rvcap::sim

@@ -1,14 +1,21 @@
-// Cycle-stepped simulation kernel.
+// Cycle-stepped simulation kernel, in two interchangeable flavours.
 //
-// A deliberately simple kernel: one global 100 MHz clock, components
-// ticked in registration order. The paper's measurements span 10^3..10^7
-// cycles, so a flat tick loop is both fast enough (tens of millions of
-// component-ticks per second) and easier to validate than a
-// discrete-event queue.
+// Mode::kFlat is the original loop: tick every registered component
+// every cycle, in registration order. Mode::kScheduled (the default)
+// is the quiescence-aware kernel: only components in the active set
+// tick; a component whose tick() reports no progress is parked until a
+// watched channel event or a scheduled wake re-activates it, and when
+// the active set empties the clock jumps straight to the next scheduled
+// wake. Both kernels are cycle-for-cycle equivalent by construction —
+// a skipped tick is one that would have been a no-op — and the
+// kernel-equivalence test suite holds them to that (DESIGN.md §9).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <functional>
 #include <limits>
+#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
@@ -16,26 +23,89 @@
 
 namespace rvcap::sim {
 
+/// Work-avoidance counters of the kernel (Simulator::stats()). The
+/// speedup is observable here, not inferred: ticks_skipped counts the
+/// component-ticks the flat loop would have executed that the
+/// scheduled kernel proved unnecessary.
+struct SimStats {
+  u64 ticks_issued = 0;     // component ticks actually executed
+  u64 ticks_skipped = 0;    // ticks avoided (sleepers + skipped cycles)
+  u64 wakeups = 0;          // sleep -> active transitions
+  u64 time_skip_jumps = 0;  // multi-cycle fast-forwards
+  u64 cycles_skipped = 0;   // cycles no component ticked in
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  enum class Mode : u8 {
+    kFlat,       // tick everything, always (reference kernel)
+    kScheduled,  // activity-scheduled kernel (default)
+  };
+
+  explicit Simulator(Mode mode = Mode::kScheduled) : mode_(mode) {}
 
   /// Register a component. The simulator does NOT own components; the
-  /// SoC assembly owns them and registers in dataflow order.
-  void add(Component* c) { components_.push_back(c); }
+  /// SoC assembly owns them and registers in dataflow order. Newly
+  /// added components start active.
+  void add(Component* c) {
+    c->hooks_ = &hooks_;
+    c->now_ptr_ = &now_;
+    c->sim_ = this;
+    c->slot_ = static_cast<u32>(components_.size());
+    c->sleeping_busy_ = false;
+    components_.push_back(c);
+    hooks_.active.resize(components_.size());
+    hooks_.active.set(c->slot_);
+  }
 
   /// Current simulation time in core-clock cycles.
   Cycles now() const { return now_; }
 
-  /// Advance exactly n cycles.
+  Mode mode() const { return mode_; }
+
+  /// Switch kernels mid-run. Always safe: every component is
+  /// re-activated, so the scheduled kernel re-derives quiescence
+  /// itself on the next step.
+  void set_mode(Mode m) {
+    mode_ = m;
+    wake_all();
+  }
+
+  /// Advance exactly n cycles. The scheduled kernel may cover an idle
+  /// stretch in one jump to the next scheduled wake, but time and
+  /// component state land exactly where the flat loop would put them.
   void run_cycles(Cycles n) {
     const Cycles end = now_ + n;
-    while (now_ < end) step();
+    if (mode_ == Mode::kFlat) {
+      while (now_ < end) step_flat();
+      return;
+    }
+    while (now_ < end) {
+      service_wheel();
+      if (hooks_.active.none()) {
+        const Cycles target = std::min(end, next_wake_at());
+        if (target > now_) {
+          const Cycles jumped = target - now_;
+          stats_.cycles_skipped += jumped;
+          stats_.ticks_skipped += components_.size() * jumped;
+          ++stats_.time_skip_jumps;
+          now_ = target;
+        }
+        continue;  // re-service the wheel at the new time
+      }
+      step_scheduled();
+    }
   }
 
   /// Advance until pred() is true, up to max_cycles more cycles.
   /// Returns true when the predicate fired, false on cycle budget
-  /// exhaustion (a watchdog against deadlocked handshakes).
+  /// exhaustion (a watchdog against deadlocked handshakes). The
+  /// budget is anchored at entry — before the first pred() call — so
+  /// an initially-true predicate consumes none of it and a false one
+  /// gets exactly max_cycles, in either kernel mode. The predicate is
+  /// evaluated once per cycle at the same cycle boundaries as the flat
+  /// loop; the scheduled kernel never jumps time here, because pred()
+  /// may be time-dependent.
   bool run_until(const std::function<bool()>& pred,
                  Cycles max_cycles = kDefaultWatchdog) {
     const Cycles end = now_ + max_cycles;
@@ -46,30 +116,149 @@ class Simulator {
     return true;
   }
 
-  /// Advance until every component reports !busy(), up to max_cycles.
+  /// Advance until the design is quiescent, up to max_cycles.
   bool run_until_idle(Cycles max_cycles = kDefaultWatchdog) {
     return run_until([this] { return all_idle(); }, max_cycles);
   }
 
-  /// Advance one cycle: tick every component once.
+  /// Advance one cycle (mode-aware; never jumps time).
   void step() {
-    for (Component* c : components_) c->tick();
-    ++now_;
+    if (mode_ == Mode::kFlat) {
+      step_flat();
+      return;
+    }
+    service_wheel();
+    if (hooks_.active.none()) {
+      // Tickless cycle: nothing can change, only time advances.
+      stats_.ticks_skipped += components_.size();
+      ++stats_.cycles_skipped;
+      ++now_;
+      return;
+    }
+    step_scheduled();
   }
 
+  /// Quiescence check. A sleeping component's busy() inputs are frozen
+  /// (any mutation would have woken it), so its busy() was sampled once
+  /// when it went to sleep; only active components need a live scan.
+  /// In flat mode every bit stays set, making this the original linear
+  /// scan.
   bool all_idle() const {
-    for (const Component* c : components_)
-      if (c->busy()) return false;
+    if (hooks_.sleeping_busy > 0) return false;
+    const auto& words = hooks_.active.words();
+    for (usize w = 0; w < words.size(); ++w) {
+      u64 pend = words[w];
+      while (pend != 0) {
+        const u32 bit = static_cast<u32>(std::countr_zero(pend));
+        pend &= pend - 1;
+        if (components_[w * 64 + bit]->busy()) return false;
+      }
+    }
     return true;
   }
 
   usize component_count() const { return components_.size(); }
 
+  SimStats stats() const {
+    SimStats s = stats_;
+    s.wakeups = hooks_.wakeups;
+    return s;
+  }
+
+  void reset_stats() {
+    stats_ = SimStats{};
+    hooks_.wakeups = 0;
+  }
+
   static constexpr Cycles kDefaultWatchdog = 500'000'000;
 
  private:
+  friend class Component;
+
+  struct Wake {
+    Cycles at;
+    u32 slot;
+    bool operator>(const Wake& o) const { return at > o.at; }
+  };
+
+  void schedule_wake(u32 slot, Cycles t) {
+    if (t <= now_) {
+      components_[slot]->wake();
+      return;
+    }
+    wheel_.push(Wake{t, slot});
+  }
+
+  Cycles next_wake_at() const {
+    return wheel_.empty() ? std::numeric_limits<Cycles>::max()
+                          : wheel_.top().at;
+  }
+
+  void service_wheel() {
+    while (!wheel_.empty() && wheel_.top().at <= now_) {
+      components_[wheel_.top().slot]->wake();
+      wheel_.pop();
+    }
+  }
+
+  void wake_all() {
+    for (Component* c : components_) {
+      hooks_.active.set(c->slot_);
+      c->sleeping_busy_ = false;
+    }
+    hooks_.sleeping_busy = 0;
+  }
+
+  void step_flat() {
+    for (Component* c : components_) {
+      ++stats_.ticks_issued;
+      // Keep the active set conservatively fresh so a later switch to
+      // the scheduled kernel starts from a safe state. Bits are never
+      // cleared in flat mode.
+      if (c->tick()) hooks_.active.set(c->slot_);
+    }
+    ++now_;
+  }
+
+  void step_scheduled() {
+    auto& words = hooks_.active.words();
+    u64 executed = 0;
+    for (usize w = 0; w < words.size(); ++w) {
+      u64 pend = words[w];
+      while (pend != 0) {
+        const u32 bit = static_cast<u32>(std::countr_zero(pend));
+        const u64 mask = u64{1} << bit;
+        words[w] &= ~mask;  // consume the activation
+        Component* c = components_[w * 64 + bit];
+        ++executed;
+        if (c->tick()) {
+          // Progress: stays active next cycle.
+          words[w] |= mask;
+        } else if ((words[w] & mask) == 0 && !c->sleeping_busy_ &&
+                   c->busy()) {
+          // Going to sleep while busy (e.g. stalled on back-pressure):
+          // record it so all_idle() stays exact without waking it.
+          c->sleeping_busy_ = true;
+          ++hooks_.sleeping_busy;
+        }
+        // Wakes raised during this tick target the rest of THIS cycle
+        // only for slots after the current one; slots at or before it
+        // (including self-wakes) run next cycle — exactly the
+        // observation order of the flat loop.
+        pend = (bit == 63) ? 0 : (words[w] & ~((mask << 1) - 1));
+      }
+    }
+    stats_.ticks_issued += executed;
+    stats_.ticks_skipped += components_.size() - executed;
+    ++now_;
+  }
+
   std::vector<Component*> components_;
+  KernelHooks hooks_;
+  std::priority_queue<Wake, std::vector<Wake>, std::greater<Wake>> wheel_;
+  SimStats stats_;
   Cycles now_ = 0;
+  Mode mode_;
 };
 
 }  // namespace rvcap::sim

@@ -4,6 +4,7 @@ namespace rvcap::soc {
 
 ArianeSoc::ArianeSoc(const SocConfig& cfg)
     : cfg_(cfg),
+      sim_(cfg.sim_mode),
       dev_(cfg.device == DeviceModel::kArtix7_100t
                ? fabric::DeviceGeometry::artix7_100t()
                : fabric::DeviceGeometry::kintex7_325t()),

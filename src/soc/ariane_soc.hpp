@@ -47,6 +47,9 @@ enum class DeviceModel : u8 {
 
 struct SocConfig {
   DeviceModel device = DeviceModel::kKintex7_325t;
+  /// Simulation kernel: activity-scheduled by default; kFlat retains
+  /// the legacy tick-everything loop (dual-mode equivalence testing).
+  sim::Simulator::Mode sim_mode = sim::Simulator::Mode::kScheduled;
   bool with_rvcap = true;    // instantiate the RV-CAP controller
   bool with_hwicap = false;  // instantiate the AXI_HWICAP baseline
   u32 hwicap_fifo_depth = 1024;  // paper resizes the vendor 64 -> 1024

@@ -5,14 +5,15 @@ namespace rvcap::storage {
 SpiController::SpiController(std::string name, SdCard& card, u32 clock_divider)
     : AxiLiteSlave(std::move(name)), card_(card), divider_(clock_divider) {}
 
-void SpiController::device_tick() {
+bool SpiController::device_tick() {
   if (!shifting_) {
     if (enabled_ && tx_.can_pop() && rx_.can_push()) {
       shift_byte_ = *tx_.pop();
       shift_countdown_ = 8 * divider_;
       shifting_ = true;
+      return true;
     }
-    return;
+    return false;
   }
   if (--shift_countdown_ == 0) {
     const u8 miso = card_.exchange(shift_byte_, (ssr_ & 1) == 0);
@@ -20,6 +21,7 @@ void SpiController::device_tick() {
     ++bytes_;
     shifting_ = false;
   }
+  return true;  // the shift countdown advanced
 }
 
 u32 SpiController::read_reg(Addr addr) {

@@ -42,7 +42,7 @@ class SpiController : public axi::AxiLiteSlave {
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;
-  void device_tick() override;
+  bool device_tick() override;
   bool device_busy() const override;
 
  private:

@@ -26,7 +26,7 @@ class Echo32 : public sim::Component {
   axi::AxiPort port;
   std::map<Addr, u32> mem;
 
-  void tick() override {
+  bool tick() override {
     if (const axi::AxiAr* ar = port.ar.front()) {
       if (port.r.can_push()) {
         port.r.push(axi::AxiR{mem[ar->addr], Resp::kOkay, true});
@@ -41,6 +41,7 @@ class Echo32 : public sim::Component {
       port.w.pop();
       port.b.push(axi::AxiB{Resp::kOkay});
     }
+    return true;  // test harness device: never sleeps
   }
   bool busy() const override { return !port.idle(); }
 };
@@ -60,7 +61,7 @@ struct WidthConvFixture : ::testing::Test {
     Wire() : Component("wire") {}
     WidthConverter64To32* conv = nullptr;
     Echo32* echo = nullptr;
-    void tick() override {
+    bool tick() override {
       auto& d = conv->downstream();
       auto& p = echo->port;
       if (d.ar.can_pop() && p.ar.can_push()) p.ar.push(*d.ar.pop());
@@ -68,6 +69,7 @@ struct WidthConvFixture : ::testing::Test {
       if (d.w.can_pop() && p.w.can_push()) p.w.push(*d.w.pop());
       if (p.r.can_pop() && d.r.can_push()) d.r.push(*p.r.pop());
       if (p.b.can_pop() && d.b.can_push()) d.b.push(*p.b.pop());
+      return true;  // test harness wire: never sleeps
     }
   };
 
@@ -141,7 +143,7 @@ struct HwicapPathFixture : ::testing::Test {
   struct Glue : sim::Component {
     Glue() : Component("glue") {}
     HwicapPathFixture* f = nullptr;
-    void tick() override {
+    bool tick() override {
       auto& c = f->conv.downstream();
       auto& b = f->bridge.upstream();
       if (c.ar.can_pop() && b.ar.can_push()) b.ar.push(*c.ar.pop());
@@ -156,6 +158,7 @@ struct HwicapPathFixture : ::testing::Test {
       if (bd.w.can_pop() && p.w.can_push()) p.w.push(*bd.w.pop());
       if (p.r.can_pop() && bd.r.can_push()) bd.r.push(*p.r.pop());
       if (p.b.can_pop() && bd.b.can_push()) bd.b.push(*p.b.pop());
+      return true;  // test harness glue: never sleeps
     }
   };
 

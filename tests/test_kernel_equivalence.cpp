@@ -1,0 +1,284 @@
+// Dual-mode kernel equivalence (DESIGN.md §9).
+//
+// The activity-scheduled kernel must be indistinguishable from the flat
+// reference loop at cycle granularity: a skipped tick is one that would
+// have been a no-op. These tests run complete workloads — end-to-end
+// DMA reconfigurations, the HWICAP baseline, and fault-injected
+// self-healing activations — once under Simulator::Mode::kFlat and once
+// under Mode::kScheduled, and assert the outcomes are identical: same
+// now() at every milestone, same driver timing, same throughput, and
+// bit-for-bit identical DprManager failure journals under the same
+// fault seed. Any divergence here means a component broke the activity
+// contract (returned false from a tick that changed state, or mutated
+// state without raising a wake).
+#include <gtest/gtest.h>
+
+#include "accel/rm_slot.hpp"
+#include "bitstream/generator.hpp"
+#include "driver/dpr_manager.hpp"
+#include "driver/hwicap_driver.hpp"
+#include "driver/rvcap_driver.hpp"
+#include "driver/scrubber.hpp"
+#include "sim/fault_injector.hpp"
+#include "soc/ariane_soc.hpp"
+
+namespace rvcap {
+namespace {
+
+using driver::DmaMode;
+using driver::DprManager;
+using sim::FaultInjector;
+using sim::Simulator;
+using soc::ArianeSoc;
+using soc::SocConfig;
+namespace sites = sim::fault_sites;
+
+// ---------------------------------------------------------------------
+// Clean reconfigurations: both DPR paths, both completion modes
+// ---------------------------------------------------------------------
+
+/// Everything observable about one reconfiguration run.
+struct ReconfigOutcome {
+  Cycles final_cycle = 0;
+  Cycles decision_ticks = 0;
+  Cycles reconfig_ticks = 0;
+  u64 icap_words = 0;
+  u64 frames_committed = 0;
+  u64 clint_mtime = 0;
+  bool loaded = false;
+
+  bool operator==(const ReconfigOutcome&) const = default;
+};
+
+ReconfigOutcome run_rvcap(Simulator::Mode mode, DmaMode dma_mode) {
+  SocConfig cfg;
+  cfg.sim_mode = mode;
+  ArianeSoc soc(cfg);
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  const Addr staging = soc::MemoryMap::kPbitStagingBase;
+  soc.ddr().poke(staging, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdSobel, staging,
+                           static_cast<u32>(pbit.size())};
+  const Status st = drv.init_reconfig_process(m, dma_mode);
+  ReconfigOutcome o;
+  o.final_cycle = soc.sim().now();
+  o.decision_ticks = drv.last_timing().decision_ticks;
+  o.reconfig_ticks = drv.last_timing().reconfig_ticks;
+  o.icap_words = soc.icap().words_consumed();
+  o.frames_committed = soc.icap().frames_committed();
+  o.clint_mtime = soc.clint().mtime();
+  o.loaded = ok(st) &&
+             soc.config_memory().partition_state(soc.rp0_handle()).loaded;
+  return o;
+}
+
+ReconfigOutcome run_hwicap(Simulator::Mode mode, u32 unroll) {
+  SocConfig cfg;
+  cfg.sim_mode = mode;
+  cfg.with_hwicap = true;
+  ArianeSoc soc(cfg);
+  driver::HwIcapDriver drv(soc.cpu(), unroll);
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  const Addr staging = soc::MemoryMap::kPbitStagingBase;
+  soc.ddr().poke(staging, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdSobel, staging,
+                           static_cast<u32>(pbit.size())};
+  const Status st = drv.init_reconfig_process(m);
+  ReconfigOutcome o;
+  o.final_cycle = soc.sim().now();
+  o.reconfig_ticks = drv.last_timing().reconfig_ticks;
+  o.icap_words = soc.icap().words_consumed();
+  o.frames_committed = soc.icap().frames_committed();
+  o.clint_mtime = soc.clint().mtime();
+  o.loaded = ok(st) &&
+             soc.config_memory().partition_state(soc.rp0_handle()).loaded;
+  return o;
+}
+
+void expect_same(const ReconfigOutcome& flat, const ReconfigOutcome& sched) {
+  EXPECT_EQ(flat.final_cycle, sched.final_cycle);
+  EXPECT_EQ(flat.decision_ticks, sched.decision_ticks);
+  EXPECT_EQ(flat.reconfig_ticks, sched.reconfig_ticks);
+  EXPECT_EQ(flat.icap_words, sched.icap_words);
+  EXPECT_EQ(flat.frames_committed, sched.frames_committed);
+  EXPECT_EQ(flat.clint_mtime, sched.clint_mtime);
+  EXPECT_TRUE(flat.loaded);
+  EXPECT_TRUE(sched.loaded);
+}
+
+TEST(KernelEquivalence, RvcapInterruptModeIdentical) {
+  expect_same(run_rvcap(Simulator::Mode::kFlat, DmaMode::kInterrupt),
+              run_rvcap(Simulator::Mode::kScheduled, DmaMode::kInterrupt));
+}
+
+TEST(KernelEquivalence, RvcapBlockingModeIdentical) {
+  expect_same(run_rvcap(Simulator::Mode::kFlat, DmaMode::kBlocking),
+              run_rvcap(Simulator::Mode::kScheduled, DmaMode::kBlocking));
+}
+
+TEST(KernelEquivalence, HwicapBaselineIdentical) {
+  expect_same(run_hwicap(Simulator::Mode::kFlat, 16),
+              run_hwicap(Simulator::Mode::kScheduled, 16));
+}
+
+// ---------------------------------------------------------------------
+// Long idle stretches: the time-skip must not shift device time bases
+// ---------------------------------------------------------------------
+
+TEST(KernelEquivalence, IdleStretchKeepsClintPhase) {
+  ReconfigOutcome out[2];
+  int i = 0;
+  for (const auto mode :
+       {Simulator::Mode::kFlat, Simulator::Mode::kScheduled}) {
+    SocConfig cfg;
+    cfg.sim_mode = mode;
+    ArianeSoc soc(cfg);
+    // An odd cycle count lands mid-way through a CLINT divider period,
+    // so a lazily derived mtime with the wrong phase would show here.
+    soc.sim().run_cycles(1'234'567);
+    out[i].final_cycle = soc.sim().now();
+    out[i].clint_mtime = soc.clint().mtime();
+    ++i;
+  }
+  EXPECT_EQ(out[0].final_cycle, out[1].final_cycle);
+  EXPECT_EQ(out[0].clint_mtime, out[1].clint_mtime);
+}
+
+// ---------------------------------------------------------------------
+// Fault-injected self-healing: bit-identical journals per seed
+// ---------------------------------------------------------------------
+
+/// The RecoveryWorld of test_faults.cpp, parameterized by kernel mode.
+struct RecoveryRun {
+  explicit RecoveryRun(Simulator::Mode mode)
+      : soc(make_config(mode)),
+        drv(soc.cpu(), soc.plic()),
+        hwicap_drv(soc.cpu()),
+        scrubber(drv, soc.device(),
+                 driver::Scrubber::Config{0x8C00'0000, 0x8D00'0000}),
+        fi(0x5EED),
+        mgr(drv, soc.config_memory(), soc.rp0_handle(), nullptr) {
+    soc.attach_fault_injector(&fi);
+    mgr.set_fault_injector(&fi);
+    mgr.attach_fallback(&hwicap_drv);
+    mgr.attach_scrubber(&scrubber, &soc.rp0());
+    stage("sobel", accel::kRmIdSobel, 0x8A00'0000);
+    stage("median", accel::kRmIdMedian, 0x8B00'0000);
+  }
+
+  static SocConfig make_config(Simulator::Mode mode) {
+    SocConfig cfg;
+    cfg.sim_mode = mode;
+    cfg.with_hwicap = true;
+    return cfg;
+  }
+
+  void stage(const char* name, u32 rm_id, Addr addr) {
+    const auto pbit = bitstream::generate_partial_bitstream(
+        soc.device(), soc.rp0(), {rm_id, name});
+    soc.ddr().poke(addr, pbit);
+    ASSERT_EQ(mgr.register_staged(name, rm_id, addr,
+                                  static_cast<u32>(pbit.size())),
+              Status::kOk);
+  }
+
+  ArianeSoc soc;
+  driver::RvCapDriver drv;
+  driver::HwIcapDriver hwicap_drv;
+  driver::Scrubber scrubber;
+  FaultInjector fi;
+  DprManager mgr;
+};
+
+void expect_same_journal(const std::vector<DprManager::JournalEntry>& a,
+                         const std::vector<DprManager::JournalEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mtime, b[i].mtime) << "entry " << i;
+    EXPECT_EQ(a[i].stage, b[i].stage) << "entry " << i;
+    EXPECT_EQ(a[i].status, b[i].status) << "entry " << i;
+    EXPECT_EQ(a[i].rm_id, b[i].rm_id) << "entry " << i;
+    EXPECT_EQ(a[i].attempt, b[i].attempt) << "entry " << i;
+  }
+}
+
+TEST(KernelEquivalence, DmaFaultRecoveryJournalIdentical) {
+  RecoveryRun flat(Simulator::Mode::kFlat);
+  RecoveryRun sched(Simulator::Mode::kScheduled);
+  flat.fi.arm(sites::kDmaMm2sSlvErr, /*count=*/1);
+  sched.fi.arm(sites::kDmaMm2sSlvErr, /*count=*/1);
+  ASSERT_EQ(flat.mgr.activate("sobel"), Status::kOk);
+  ASSERT_EQ(sched.mgr.activate("sobel"), Status::kOk);
+  EXPECT_EQ(flat.soc.sim().now(), sched.soc.sim().now());
+  EXPECT_EQ(flat.mgr.stats().recoveries, 1u);
+  EXPECT_EQ(sched.mgr.stats().recoveries, 1u);
+  expect_same_journal(flat.mgr.journal(), sched.mgr.journal());
+}
+
+TEST(KernelEquivalence, IcapCorruptionRecoveryJournalIdentical) {
+  RecoveryRun flat(Simulator::Mode::kFlat);
+  RecoveryRun sched(Simulator::Mode::kScheduled);
+  flat.fi.arm(sites::kIcapCrcCorrupt, /*count=*/1);
+  sched.fi.arm(sites::kIcapCrcCorrupt, /*count=*/1);
+  ASSERT_EQ(flat.mgr.activate("sobel"), Status::kOk);
+  ASSERT_EQ(sched.mgr.activate("sobel"), Status::kOk);
+  EXPECT_EQ(flat.soc.sim().now(), sched.soc.sim().now());
+  expect_same_journal(flat.mgr.journal(), sched.mgr.journal());
+  // The injected-fault streams must also have advanced identically:
+  // the scheduled kernel issues the same should_fire() queries in the
+  // same order, or the seeds would desynchronize.
+  EXPECT_EQ(flat.fi.queries(sites::kIcapCrcCorrupt),
+            sched.fi.queries(sites::kIcapCrcCorrupt));
+  EXPECT_EQ(flat.fi.total_fires(), sched.fi.total_fires());
+}
+
+TEST(KernelEquivalence, BackToBackActivationsIdentical) {
+  // Module swaps exercise decouple/recouple, RM slot wake paths and
+  // the already-active fast path in both kernels.
+  RecoveryRun flat(Simulator::Mode::kFlat);
+  RecoveryRun sched(Simulator::Mode::kScheduled);
+  for (const char* name : {"sobel", "median", "median", "sobel"}) {
+    ASSERT_EQ(flat.mgr.activate(name), Status::kOk);
+    ASSERT_EQ(sched.mgr.activate(name), Status::kOk);
+    EXPECT_EQ(flat.soc.sim().now(), sched.soc.sim().now()) << name;
+  }
+  EXPECT_EQ(flat.mgr.stats().reconfigurations,
+            sched.mgr.stats().reconfigurations);
+  EXPECT_EQ(flat.mgr.stats().already_active_hits,
+            sched.mgr.stats().already_active_hits);
+}
+
+// ---------------------------------------------------------------------
+// Mid-run mode switching stays consistent
+// ---------------------------------------------------------------------
+
+TEST(KernelEquivalence, ModeSwitchMidRunMatchesFlat) {
+  // Reference: pure flat run. Candidate: flat for the first half of
+  // the reconfiguration's setup, then switched to scheduled. The final
+  // outcome must match the reference exactly.
+  const ReconfigOutcome ref =
+      run_rvcap(Simulator::Mode::kFlat, DmaMode::kInterrupt);
+
+  SocConfig cfg;
+  cfg.sim_mode = Simulator::Mode::kFlat;
+  ArianeSoc soc(cfg);
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  const Addr staging = soc::MemoryMap::kPbitStagingBase;
+  soc.ddr().poke(staging, pbit);
+  soc.sim().run_cycles(1000);  // some flat-mode history first
+  soc.sim().set_mode(Simulator::Mode::kScheduled);
+  driver::ReconfigModule m{"", accel::kRmIdSobel, staging,
+                           static_cast<u32>(pbit.size())};
+  ASSERT_TRUE(ok(drv.init_reconfig_process(m, DmaMode::kInterrupt)));
+  EXPECT_EQ(soc.sim().now() - 1000, ref.final_cycle);
+  EXPECT_EQ(drv.last_timing().reconfig_ticks, ref.reconfig_ticks);
+  EXPECT_EQ(soc.icap().frames_committed(), ref.frames_committed);
+}
+
+}  // namespace
+}  // namespace rvcap
