@@ -47,7 +47,15 @@ bool RmSlot::tick() {
     progress = true;
   }
   if (active_ != nullptr) {
+    const u64 pushed_before = out_.total_pushed();
     if (active_->tick(in_, out_)) progress = true;
+    if (st.essential_upsets != 0 && out_.total_pushed() != pushed_before) {
+      // An outstanding essential upset garbles the module's datapath:
+      // the beat it just emitted comes out corrupted, and stays that
+      // way until the scrub service repairs the frame.
+      if (axi::AxisBeat* beat = out_.back()) beat->data ^= kSeuCorruptMask;
+      ++corrupted_beats_;
+    }
   } else if (in_.can_pop()) {
     // Unconfigured fabric: beats fall on the floor (the isolator should
     // have prevented them from arriving in the first place).

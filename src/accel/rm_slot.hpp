@@ -39,6 +39,10 @@ class RmSlot : public sim::Component, public rvcap_ctrl::RmRegisterFile {
   RmBehavior* behavior() { return active_.get(); }
   u64 activations() const { return activations_; }
 
+  /// Output beats garbled while the partition carried an outstanding
+  /// essential upset (visible SEU damage; see kSeuCorruptMask).
+  u64 corrupted_beats() const { return corrupted_beats_; }
+
   bool tick() override;
   bool busy() const override;
 
@@ -56,7 +60,14 @@ class RmSlot : public sim::Component, public rvcap_ctrl::RmRegisterFile {
   u32 active_id_ = 0;
   u64 active_load_count_ = 0;  // loads_completed at activation time
   u64 activations_ = 0;
+  u64 corrupted_beats_ = 0;
 };
+
+/// XOR pattern applied to every output beat of a module whose
+/// partition has an outstanding essential upset: flipped configuration
+/// bits in LUTs/routing garble the datapath deterministically until a
+/// scrub repairs the frame.
+inline constexpr u64 kSeuCorruptMask = 0xA5A5'A5A5'A5A5'A5A5ULL;
 
 /// Canonical rm_ids of the case-study filters (§IV-D); the bitstream
 /// generator and the slot registry must agree on these.

@@ -6,6 +6,7 @@ namespace rvcap::bitstream {
 
 std::vector<u32> build_readback_request(const fabric::FrameAddr& start,
                                         u32 words) {
+  if (words == 0) return {};  // a zero-length FDRO read is a misuse
   std::vector<u32> w;
   w.push_back(kDummyWord);
   w.push_back(kBusWidthSync);
@@ -18,8 +19,13 @@ std::vector<u32> build_readback_request(const fabric::FrameAddr& start,
   w.push_back(kNop);
   w.push_back(type1(PacketOp::kWrite, ConfigReg::kFar, 1));
   w.push_back(start.encode());
-  w.push_back(type1(PacketOp::kRead, ConfigReg::kFdro, 0));
-  w.push_back(type2(PacketOp::kRead, words));
+  if (words <= kType1MaxCount) {
+    // Short reads fit the type-1 count field directly.
+    w.push_back(type1(PacketOp::kRead, ConfigReg::kFdro, words));
+  } else {
+    w.push_back(type1(PacketOp::kRead, ConfigReg::kFdro, 0));
+    w.push_back(type2(PacketOp::kRead, words));
+  }
   return w;
 }
 
@@ -31,6 +37,7 @@ std::vector<u32> build_readback_trailer() {
 std::vector<u32> build_readback_sequence(const fabric::FrameAddr& start,
                                          u32 words) {
   std::vector<u32> w = build_readback_request(start, words);
+  if (w.empty()) return w;
   const std::vector<u32> tail = build_readback_trailer();
   w.insert(w.end(), tail.begin(), tail.end());
   return w;
@@ -39,7 +46,43 @@ std::vector<u32> build_readback_sequence(const fabric::FrameAddr& start,
 std::vector<u8> build_readback_bytes(const fabric::FrameAddr& start,
                                      u32 words) {
   std::vector<u32> seq = build_readback_sequence(start, words);
+  if (seq.empty()) return {};
   while (seq.size() % 2 != 0) seq.push_back(kNop);  // whole 64-bit beats
+  return BitstreamWriter::to_bytes(seq);
+}
+
+std::vector<u32> build_frame_write_sequence(
+    const fabric::FrameAddr& fa, std::span<const u32> frame_words) {
+  if (frame_words.size() != fabric::kFrameWords) return {};
+  std::vector<u32> w;
+  w.reserve(frame_words.size() + 16);
+  w.push_back(kDummyWord);
+  w.push_back(kBusWidthSync);
+  w.push_back(kBusWidthDetect);
+  w.push_back(kDummyWord);
+  w.push_back(kSyncWord);
+  w.push_back(kNop);
+  w.push_back(type1(PacketOp::kWrite, ConfigReg::kCmd, 1));
+  w.push_back(static_cast<u32>(Cmd::kWcfg));
+  w.push_back(type1(PacketOp::kWrite, ConfigReg::kFar, 1));
+  w.push_back(fa.encode());
+  // One frame always fits the type-1 count field (202 <= 0x7FF).
+  static_assert(fabric::kFrameWords <= kType1MaxCount);
+  w.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri,
+                    static_cast<u32>(frame_words.size())));
+  w.insert(w.end(), frame_words.begin(), frame_words.end());
+  w.push_back(kNop);
+  w.push_back(type1(PacketOp::kWrite, ConfigReg::kCmd, 1));
+  w.push_back(static_cast<u32>(Cmd::kDesync));
+  w.push_back(kNop);
+  return w;
+}
+
+std::vector<u8> build_frame_write_bytes(const fabric::FrameAddr& fa,
+                                        std::span<const u32> frame_words) {
+  std::vector<u32> seq = build_frame_write_sequence(fa, frame_words);
+  if (seq.empty()) return {};
+  while (seq.size() % 2 != 0) seq.push_back(kNop);
   return BitstreamWriter::to_bytes(seq);
 }
 

@@ -1,4 +1,4 @@
-// Readback command-sequence builder.
+// Readback / frame-repair command-sequence builders.
 //
 // To read configuration memory through the ICAP, software streams a
 // short command sequence into the port (sync, RCFG, FAR, a type-1/2
@@ -6,8 +6,15 @@
 // read side. RV-CAP does this with one small MM2S transfer followed by
 // an S2MM capture; the AXI_HWICAP does it through its read FIFO. Both
 // consume sequences built here.
+//
+// The scrub service additionally writes single corrected frames back:
+// build_frame_write_sequence() emits a minimal WCFG pass (sync, WCFG,
+// FAR, FDRI payload, DESYNC) with no RCRC and no CRC check, so an
+// in-place repair neither restarts the configuration-pass epoch nor
+// risks a spurious CRC invalidation.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "bitstream/packets.hpp"
@@ -15,8 +22,14 @@
 
 namespace rvcap::bitstream {
 
+/// Largest word count a type-1 packet header can carry; longer reads
+/// and payloads take the type-1(0) + type-2 form.
+inline constexpr u32 kType1MaxCount = 0x7FF;
+
 /// Request half: sync .. FDRO read request. The port turns around
 /// after the last word; the keyhole driver must stop writing here.
+/// A zero-word request is meaningless and returns an empty sequence —
+/// callers must reject it before touching the hardware.
 std::vector<u32> build_readback_request(const fabric::FrameAddr& start,
                                         u32 words);
 
@@ -24,13 +37,24 @@ std::vector<u32> build_readback_request(const fabric::FrameAddr& start,
 std::vector<u32> build_readback_trailer();
 
 /// Full sequence (request + trailer) — suitable for the DMA path,
-/// where the S2MM capture drains the port concurrently.
+/// where the S2MM capture drains the port concurrently. Empty when
+/// words == 0.
 std::vector<u32> build_readback_sequence(const fabric::FrameAddr& start,
                                          u32 words);
 
 /// Serialized (byte) form, padded to a whole number of 64-bit beats so
-/// the DMA can stream it directly.
+/// the DMA can stream it directly. Empty when words == 0.
 std::vector<u8> build_readback_bytes(const fabric::FrameAddr& start,
                                      u32 words);
+
+/// Single-frame rewrite: a self-contained WCFG pass writing
+/// `frame_words` (kFrameWords of them) at `fa`. Empty when the word
+/// count is not exactly one frame.
+std::vector<u32> build_frame_write_sequence(const fabric::FrameAddr& fa,
+                                            std::span<const u32> frame_words);
+
+/// Serialized (byte) form of the frame rewrite, beat-padded for DMA.
+std::vector<u8> build_frame_write_bytes(const fabric::FrameAddr& fa,
+                                        std::span<const u32> frame_words);
 
 }  // namespace rvcap::bitstream

@@ -206,13 +206,14 @@ void DprManager::recover_datapath(DmaMode mode, u32 attempt) {
   if (policy_.blank_on_failure) blank_partition(mode, attempt);
 }
 
-Status DprManager::activate(std::string_view name, DmaMode mode) {
+Status DprManager::activate(std::string_view name, DmaMode mode,
+                            bool force) {
   ++stats_.activation_requests;
   Module* m = find(name);
   if (m == nullptr) return Status::kNotFound;
 
   const auto st0 = cfg_.partition_state(rp_handle_);
-  if (st0.loaded && st0.rm_id == m->rm_id) {
+  if (!force && st0.loaded && st0.rm_id == m->rm_id) {
     ++stats_.already_active_hits;
     return Status::kOk;
   }

@@ -116,8 +116,12 @@ class DprManager {
 
   /// Make the module active in the partition; no-op when it already is.
   /// Runs the self-healing flow under the current RecoveryPolicy.
-  Status activate(std::string_view name,
-                  DmaMode mode = DmaMode::kInterrupt);
+  /// `force` skips the already-active fast path and rewrites every
+  /// frame regardless — the scrub service's escalation path, where the
+  /// partition still tracks as loaded but its configuration bits are
+  /// known to be damaged.
+  Status activate(std::string_view name, DmaMode mode = DmaMode::kInterrupt,
+                  bool force = false);
 
   /// Name of the module currently active (empty when none/unknown).
   std::string active_module() const;

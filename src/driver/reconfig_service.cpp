@@ -156,6 +156,7 @@ Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
          req.deadline_mtime < q.req.deadline_mtime)) {
       q.req.deadline_mtime = req.deadline_mtime;
     }
+    q.req.force = q.req.force || req.force;
     ++stats_.coalesced;
     const RequestId parent = q.id;
     RequestRecord& r = make_record(RequestState::kCoalesced, Status::kOk);
@@ -250,7 +251,7 @@ bool ReconfigService::step() {
   RvCapDriver& drv = mgr_.driver();
   ProgressMonitor* const prev = drv.progress_monitor();
   drv.set_progress_monitor(this);
-  const Status s = mgr_.activate(r->req.module, cfg_.mode);
+  const Status s = mgr_.activate(r->req.module, cfg_.mode, r->req.force);
   drv.set_progress_monitor(prev);
   active_ = 0;
 

@@ -68,6 +68,8 @@ class ReconfigService : public ProgressMonitor {
     u32 priority = 0;       // higher wins
     u64 deadline_mtime = 0; // absolute CLINT deadline; 0 = none
     u32 client_id = 0;
+    bool force = false;     // rewrite even if already active (scrub
+                            // repair of a loaded-but-damaged partition)
   };
 
   /// Request lifecycle (terminal states carry the matching Status).

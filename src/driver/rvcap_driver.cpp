@@ -361,6 +361,24 @@ Status RvCapDriver::readback(const fabric::FrameAddr& start, u32 words,
   return st;
 }
 
+Status RvCapDriver::write_frame(const fabric::FrameAddr& fa,
+                                std::span<const u32> words, Addr cmd_staging,
+                                DmaMode mode, bool hold_decoupled) {
+  if (words.size() != fabric::kFrameWords) return Status::kInvalidArgument;
+  cpu_.spend_call_overhead();
+
+  const std::vector<u8> cmd = bitstream::build_frame_write_bytes(fa, words);
+  cpu_.write_buffer(cmd_staging, cmd);
+
+  decouple_accel(true);
+  select_ICAP(true);
+  const Status st =
+      reconfigure_RP(cmd_staging, static_cast<u32>(cmd.size()), mode);
+  select_ICAP(false);
+  if (!hold_decoupled) decouple_accel(false);
+  return st;
+}
+
 Status RvCapDriver::readback_partition(const fabric::DeviceGeometry& dev,
                                        const fabric::Partition& part,
                                        Addr cmd_staging, Addr dst,

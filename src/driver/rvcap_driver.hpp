@@ -131,6 +131,14 @@ class RvCapDriver {
                   DmaMode mode = DmaMode::kInterrupt,
                   bool hold_decoupled = false);
 
+  /// Single-frame rewrite (scrub repair): stream a minimal WCFG pass
+  /// writing `words` (exactly one frame) at `fa` — no RCRC, no CRC
+  /// check, so a repair cannot invalidate an unrelated pass. Wraps the
+  /// transfer in the usual decouple/select_ICAP routing.
+  Status write_frame(const fabric::FrameAddr& fa, std::span<const u32> words,
+                     Addr cmd_staging, DmaMode mode = DmaMode::kInterrupt,
+                     bool hold_decoupled = false);
+
   /// Read back every frame of a partition (one pass per contiguous
   /// column range); on return *words_read holds the total word count
   /// landed at `dst`. The basis of safe-DPR verification flows.

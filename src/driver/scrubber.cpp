@@ -70,9 +70,16 @@ Status Scrubber::scrub_and_repair(const fabric::Partition& part,
 
   // Full-partition repair: reload the module's bitstream.
   if (auto rs = drv_.init_reconfig_process(module, mode); !ok(rs)) return rs;
+  // Verify the reload actually restored the golden contents before
+  // counting the repair. The EXISTING snapshot stays authoritative: if
+  // the reload itself was corrupted (a CRC error mid-transfer leaves
+  // the partition invalidated, or an upset landed during the pass),
+  // re-snapshotting here would record the damaged image as golden and
+  // every later scrub would silently compare against corruption.
+  if (auto vs = scrub(part, &clean); !ok(vs)) return vs;
+  if (!clean) return Status::kCrcError;
   ++stats_.repairs;
-  // Re-snapshot: the repair rewrote every frame.
-  return snapshot(part);
+  return Status::kOk;
 }
 
 }  // namespace rvcap::driver

@@ -47,7 +47,9 @@ class Scrubber {
   /// transport errors. `clean` (optional) receives the verdict.
   Status scrub(const fabric::Partition& part, bool* clean = nullptr);
 
-  /// scrub(); on detection, reload the module and re-snapshot.
+  /// scrub(); on detection, reload the module and verify the reload
+  /// restored the golden contents before counting the repair. The
+  /// snapshot itself is never replaced here — see scrub_and_repair().
   Status scrub_and_repair(const fabric::Partition& part,
                           const ReconfigModule& module,
                           DmaMode mode = DmaMode::kInterrupt);

@@ -25,9 +25,14 @@ void RmManifest::encode(std::span<u32> frame) const {
 ConfigMemory::ConfigMemory(const DeviceGeometry& dev) : dev_(dev) {}
 
 usize ConfigMemory::register_partition(const Partition& p) {
-  Tracker t{p, p.frame_addrs(dev_), 0, false, 0, 0, std::nullopt, 0};
+  Tracker t{p, p.frame_addrs(dev_), 0, false, 0, 0, std::nullopt, 0, 0};
   trackers_.push_back(std::move(t));
   return trackers_.size() - 1;
+}
+
+u32 ConfigMemory::frame_index_in(const Tracker& t, const FrameAddr& fa) {
+  const auto it = std::find(t.addrs.begin(), t.addrs.end(), fa);
+  return static_cast<u32>(it - t.addrs.begin());
 }
 
 void ConfigMemory::write_frame(const FrameAddr& fa,
@@ -38,17 +43,59 @@ void ConfigMemory::write_frame(const FrameAddr& fa,
              " minor=", fa.minor);
     return;
   }
-  frames_[fa.encode()] = std::vector<u32>(words.begin(), words.end());
+  StoredFrame& slot = frames_[fa.encode()];
+
+  // Does this write restore a damaged frame to its exact pre-upset
+  // contents? Then a loaded partition treats it as an in-place scrub
+  // repair rather than the start/middle of a new configuration pass.
+  bool restores_original = false;
+  if (!slot.flips.empty() && slot.data.size() == words.size()) {
+    std::vector<u32> original = slot.data;
+    for (const u16 pos : slot.flips) {
+      original[pos / 32] ^= 1u << (pos % 32);
+    }
+    restores_original =
+        std::equal(original.begin(), original.end(), words.begin());
+  }
+
+  // Any write clears the frame's outstanding flips; settle the
+  // essential-upset accounting of loaded partitions first.
+  if (!slot.flips.empty()) {
+    for (Tracker& t : trackers_) {
+      if (!t.loaded || !t.part.contains(dev_, fa)) continue;
+      const u32 fidx = frame_index_in(t, fa);
+      for (const u16 pos : slot.flips) {
+        if (essential_bit(t.rm_id, fidx, pos / 32, pos % 32) &&
+            t.essential_upsets > 0) {
+          --t.essential_upsets;
+        }
+      }
+    }
+  }
+
+  slot.data.assign(words.begin(), words.end());
+  slot.ecc = compute_frame_ecc(words);
+  slot.flips.clear();
   ++frames_written_;
+  bool repaired_in_place = false;
 
   for (Tracker& t : trackers_) {
     if (!t.part.contains(dev_, fa)) continue;
     t.touched_epoch = epoch_;
+    if (t.loaded && restores_original && !(fa == t.addrs.front())) {
+      // In-place repair of a non-base frame: the module never left.
+      // (A base-frame rewrite still restarts the pass below — it
+      // carries the manifest — so scrubbers reload the partition for
+      // base-frame damage instead.)
+      repaired_in_place = true;
+      continue;
+    }
     if (fa == t.addrs.front()) {
       // New pass over this partition begins at its base frame.
       t.progress = 1;
       t.loaded = false;
       t.manifest = RmManifest::decode(words);
+      t.essential_upsets = 0;
     } else if (t.progress > 0 && t.progress < t.addrs.size() &&
                fa == t.addrs[t.progress]) {
       ++t.progress;
@@ -57,29 +104,75 @@ void ConfigMemory::write_frame(const FrameAddr& fa,
       t.progress = 0;
       t.loaded = false;
       t.manifest.reset();
+      t.essential_upsets = 0;
     }
     if (t.progress == t.addrs.size() && t.manifest.has_value() &&
         t.manifest->frame_count == t.addrs.size()) {
       t.loaded = true;
       t.rm_id = t.manifest->rm_id;
       ++t.loads_completed;
+      t.essential_upsets = 0;
     }
   }
+  if (repaired_in_place) ++frame_repairs_;
   observers_.notify();
 }
 
 const std::vector<u32>* ConfigMemory::frame(const FrameAddr& fa) const {
   const auto it = frames_.find(fa.encode());
-  return it == frames_.end() ? nullptr : &it->second;
+  return it == frames_.end() ? nullptr : &it->second.data;
+}
+
+const FrameEcc* ConfigMemory::frame_ecc(const FrameAddr& fa) const {
+  const auto it = frames_.find(fa.encode());
+  return it == frames_.end() ? nullptr : &it->second.ecc;
+}
+
+u32 ConfigMemory::outstanding_flips(const FrameAddr& fa) const {
+  const auto it = frames_.find(fa.encode());
+  return it == frames_.end() ? 0 : static_cast<u32>(it->second.flips.size());
 }
 
 bool ConfigMemory::inject_upset(const FrameAddr& fa, u32 word_index,
                                 u32 bit) {
   const auto it = frames_.find(fa.encode());
-  if (it == frames_.end() || word_index >= it->second.size() || bit >= 32) {
+  if (it == frames_.end() || word_index >= it->second.data.size() ||
+      bit >= 32) {
     return false;
   }
-  it->second[word_index] ^= (1u << bit);
+  StoredFrame& f = it->second;
+  f.data[word_index] ^= (1u << bit);
+  const u16 pos = static_cast<u16>(word_index * 32 + bit);
+  const auto fit = std::find(f.flips.begin(), f.flips.end(), pos);
+  const bool newly_flipped = (fit == f.flips.end());
+  if (newly_flipped) {
+    f.flips.push_back(pos);
+  } else {
+    f.flips.erase(fit);  // a second hit on the same bit restores it
+  }
+
+  UpsetEvent ev;
+  ev.fa = fa;
+  ev.word = word_index;
+  ev.bit = bit;
+  for (Tracker& t : trackers_) {
+    if (!t.loaded || !t.part.contains(dev_, fa)) continue;
+    ev.loaded_frame = true;
+    if (essential_bit(t.rm_id, frame_index_in(t, fa), word_index, bit)) {
+      ev.essential = true;
+      if (newly_flipped) {
+        ++t.essential_upsets;
+      } else if (t.essential_upsets > 0) {
+        --t.essential_upsets;
+      }
+    }
+  }
+  ev.total = ++upsets_injected_;
+  last_upset_ = ev;
+  if (upset_observer_) upset_observer_(ev);
+  // An essential upset changes the hosted RM's observable behaviour;
+  // wake the slots so both kernels see it at the injection cycle.
+  observers_.notify();
   return true;
 }
 
@@ -94,6 +187,7 @@ void ConfigMemory::notify_crc_error() {
       t.progress = 0;
       t.loaded = false;
       t.manifest.reset();
+      t.essential_upsets = 0;
     }
   }
   observers_.notify();
@@ -102,9 +196,12 @@ void ConfigMemory::notify_crc_error() {
 ConfigMemory::PartitionState ConfigMemory::partition_state(
     usize handle) const {
   const Tracker& t = trackers_.at(handle);
-  return PartitionState{t.loaded, t.rm_id, t.progress,
+  return PartitionState{t.loaded,
+                        t.rm_id,
+                        t.progress,
                         static_cast<u32>(t.addrs.size()),
-                        t.loads_completed};
+                        t.loads_completed,
+                        t.essential_upsets};
 }
 
 }  // namespace rvcap::fabric

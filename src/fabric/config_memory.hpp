@@ -8,16 +8,27 @@
 // deactivate the partition (a half-configured region is garbage on real
 // silicon; the functional model makes that state explicit instead).
 //
+// One exception mirrors silicon scrubbing: rewriting a single damaged
+// frame of a LOADED partition with its exact pre-upset contents is an
+// in-place repair — the module stays active, because the fabric never
+// saw anything but a bit flip come and go. The memory keeps the ground
+// truth needed to recognize that case: per-frame outstanding flipped
+// bits (maintained by inject_upset, cleared by any write) plus the
+// SECDED check word of the configured contents (fabric/frame_ecc.hpp,
+// the FRAME_ECC primitive's readback view).
+//
 // The ICAP reports RCRC (start of a configuration pass) and CRC errors;
 // a CRC error invalidates every partition touched during the pass, so a
 // corrupted bitstream can never activate an RM.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "fabric/frame_ecc.hpp"
 #include "fabric/geometry.hpp"
 #include "sim/component.hpp"
 
@@ -48,7 +59,8 @@ class ConfigMemory {
 
   /// Components whose observable state derives from partition state
   /// (the RM slots) register here; they are woken whenever a frame
-  /// write or ICAP notification may have changed it.
+  /// write, an injected upset, or an ICAP notification may have
+  /// changed it.
   void add_observer(sim::Component* c) { observers_.add(c); }
 
   /// Write one frame (kFrameWords words). Invalid addresses count as
@@ -57,6 +69,18 @@ class ConfigMemory {
 
   /// Read a frame back; nullptr when never written.
   const std::vector<u32>* frame(const FrameAddr& fa) const;
+
+  /// SECDED check word of the frame's CONFIGURED contents (recorded at
+  /// write_frame time — what the FRAME_ECC primitive reports during
+  /// readback); nullptr when never written. Injected upsets change the
+  /// stored data but not this golden reference, which is exactly the
+  /// divergence scrubbing decodes.
+  const FrameEcc* frame_ecc(const FrameAddr& fa) const;
+
+  /// Outstanding injected-and-unrepaired bit flips on a frame (ground
+  /// truth for tests; the scrub service must rediscover them through
+  /// readback).
+  u32 outstanding_flips(const FrameAddr& fa) const;
 
   // ---- ICAP notifications ----
   void notify_rcrc();       // start of a configuration pass
@@ -69,6 +93,7 @@ class ConfigMemory {
     u32 progress = 0;      // frames matched so far in the current pass
     u32 frame_count = 0;
     u64 loads_completed = 0;
+    u64 essential_upsets = 0;  // outstanding essential flips while loaded
   };
   PartitionState partition_state(usize handle) const;
   usize num_partitions() const { return trackers_.size(); }
@@ -80,15 +105,46 @@ class ConfigMemory {
 
   u64 frames_written() const { return frames_written_; }
   u64 bad_address_writes() const { return bad_address_writes_; }
+  /// Loaded frames restored in place by a scrub rewrite (the repair
+  /// exception above) without a reconfiguration pass.
+  u64 frame_repairs() const { return frame_repairs_; }
 
   /// Fault injection: flip one stored configuration bit in place (a
   /// single-event upset). Unlike write_frame this does NOT touch the
   /// activation trackers — an SEU corrupts silently, which is exactly
-  /// what readback scrubbing exists to catch.
+  /// what readback scrubbing exists to catch. It does, however, record
+  /// the flip for repair recognition, update the essential-upset count
+  /// of any loaded partition hosting the frame, and notify the
+  /// registered upset observer.
   /// Returns false when the frame has never been written.
   bool inject_upset(const FrameAddr& fa, u32 word_index, u32 bit);
 
+  /// One successfully landed upset (inject_upset returned true).
+  struct UpsetEvent {
+    FrameAddr fa{};
+    u32 word = 0;
+    u32 bit = 0;
+    bool loaded_frame = false;  // frame belongs to a loaded partition
+    bool essential = false;     // ... and the bit is in its essential mask
+    u64 total = 0;              // upsets_injected() after this event
+  };
+  using UpsetObserver = std::function<void(const UpsetEvent&)>;
+
+  /// Tests and the scrub service register here to learn that an
+  /// injection actually landed (count + last FrameAddr) instead of
+  /// silently returning false. One observer; empty function detaches.
+  void set_upset_observer(UpsetObserver obs) { upset_observer_ = std::move(obs); }
+
+  u64 upsets_injected() const { return upsets_injected_; }
+  const std::optional<UpsetEvent>& last_upset() const { return last_upset_; }
+
  private:
+  struct StoredFrame {
+    std::vector<u32> data;
+    FrameEcc ecc;             // golden, of the configured contents
+    std::vector<u16> flips;   // outstanding upset positions (word*32+bit)
+  };
+
   struct Tracker {
     Partition part;
     std::vector<FrameAddr> addrs;
@@ -98,14 +154,21 @@ class ConfigMemory {
     u64 loads_completed = 0;
     std::optional<RmManifest> manifest;
     u64 touched_epoch = 0;  // last pass that wrote into this partition
+    u64 essential_upsets = 0;
   };
+
+  static u32 frame_index_in(const Tracker& t, const FrameAddr& fa);
 
   const DeviceGeometry& dev_;
   sim::WakeList observers_;
-  std::map<u32, std::vector<u32>> frames_;  // key: FrameAddr::encode()
+  std::map<u32, StoredFrame> frames_;  // key: FrameAddr::encode()
   std::vector<Tracker> trackers_;
+  UpsetObserver upset_observer_;
+  std::optional<UpsetEvent> last_upset_;
   u64 frames_written_ = 0;
   u64 bad_address_writes_ = 0;
+  u64 frame_repairs_ = 0;
+  u64 upsets_injected_ = 0;
   u64 epoch_ = 1;
 };
 

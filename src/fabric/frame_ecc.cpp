@@ -1,0 +1,64 @@
+#include "fabric/frame_ecc.hpp"
+
+#include <bit>
+
+namespace rvcap::fabric {
+
+FrameEcc compute_frame_ecc(std::span<const u32> words) {
+  FrameEcc e;
+  u32 acc = 0;
+  for (usize w = 0; w < words.size(); ++w) {
+    u32 v = words[w];
+    acc ^= v;
+    const u32 base = static_cast<u32>(w) * 32 + 1;
+    while (v != 0) {
+      e.syndrome ^= base + static_cast<u32>(std::countr_zero(v));
+      v &= v - 1;  // iterate set bits only
+    }
+  }
+  e.parity = (std::popcount(acc) & 1) != 0;
+  return e;
+}
+
+std::string_view to_string(EccClass c) {
+  switch (c) {
+    case EccClass::kClean: return "clean";
+    case EccClass::kCorrectable: return "correctable";
+    case EccClass::kUncorrectable: return "uncorrectable";
+  }
+  return "?";
+}
+
+EccDecode decode_frame_ecc(const FrameEcc& golden, const FrameEcc& observed,
+                           u32 frame_words) {
+  EccDecode d;
+  const u32 diff = golden.syndrome ^ observed.syndrome;
+  const bool parity_diff = golden.parity != observed.parity;
+  if (diff == 0 && !parity_diff) {
+    d.cls = EccClass::kClean;
+    return d;
+  }
+  if (parity_diff && diff >= 1 && diff <= frame_words * 32) {
+    d.cls = EccClass::kCorrectable;
+    d.word = (diff - 1) / 32;
+    d.bit = (diff - 1) % 32;
+    return d;
+  }
+  d.cls = EccClass::kUncorrectable;
+  return d;
+}
+
+bool essential_bit(u32 rm_id, u32 frame_index, u32 word, u32 bit) {
+  if (frame_index == 0 && word < 4) return true;  // RM manifest words
+  u64 x = (u64{rm_id} << 44) ^ (u64{frame_index} << 16) ^
+          (u64{word} << 5) ^ u64{bit};
+  x ^= 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return (x & 3) == 0;
+}
+
+}  // namespace rvcap::fabric

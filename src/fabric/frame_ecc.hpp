@@ -1,0 +1,67 @@
+// Per-frame configuration ECC + essential-bits model.
+//
+// 7-series devices compute a SECDED syndrome over every configuration
+// frame (the FRAME_ECC primitive exposes it during readback): a single
+// flipped bit is localizable from the syndrome alone, a double flip is
+// detectable but not correctable. The model uses the textbook
+// construction — each bit contributes its 1-based position
+// (word*32 + bit + 1) to an XOR accumulator, plus an overall parity
+// bit. A zero syndrome with even parity is clean; a nonzero syndrome
+// with odd parity points at the flipped bit; everything else (even
+// parity, nonzero syndrome — or a syndrome outside the frame) is
+// uncorrectable multi-bit damage. As on silicon, >2 simultaneous flips
+// can alias to a plausible single-bit decode; the scrub service's
+// verify-after-rewrite pass catches that case.
+//
+// Vivado's essential-bits files mark which configuration bits actually
+// affect the routed design (typically a minority of the frame). The
+// model stands in a deterministic hash: essential_bit() is a pure
+// function of (rm_id, frame index, word, bit), so the fabric model and
+// the driver-side scrub service classify upsets identically without
+// sharing state, exactly like tooling-generated .ebd masks.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace rvcap::fabric {
+
+/// SECDED check word of one configuration frame.
+struct FrameEcc {
+  u32 syndrome = 0;    // XOR of 1-based positions of set bits
+  bool parity = false; // XOR of all frame bits
+
+  constexpr bool operator==(const FrameEcc&) const = default;
+};
+
+FrameEcc compute_frame_ecc(std::span<const u32> words);
+
+enum class EccClass : u8 {
+  kClean,          // syndrome and parity match the golden reference
+  kCorrectable,    // single flipped bit, localized by the syndrome
+  kUncorrectable,  // multi-bit damage: frame must be rewritten whole
+};
+
+std::string_view to_string(EccClass c);
+
+/// Verdict of comparing an observed frame ECC against the golden one
+/// recorded when the frame was configured. word/bit are valid only for
+/// kCorrectable.
+struct EccDecode {
+  EccClass cls = EccClass::kClean;
+  u32 word = 0;
+  u32 bit = 0;
+};
+
+EccDecode decode_frame_ecc(const FrameEcc& golden, const FrameEcc& observed,
+                           u32 frame_words);
+
+/// Essential-bits mask: does flipping (word, bit) of the RM's
+/// frame_index-th frame change the function the module implements?
+/// The manifest words of the base frame are always essential; the rest
+/// follows a deterministic ~25% hash of the coordinates.
+bool essential_bit(u32 rm_id, u32 frame_index, u32 word, u32 bit);
+
+}  // namespace rvcap::fabric

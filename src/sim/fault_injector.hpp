@@ -45,6 +45,10 @@ inline constexpr std::string_view kIcapSyncLoss = "icap.sync_loss";
 inline constexpr std::string_view kIcapCrcCorrupt = "icap.crc";
 /// One bit of a freshly staged DDR bitstream copy flips.
 inline constexpr std::string_view kStageBitFlip = "stage.bitflip";
+/// Radiation-induced configuration-memory upset (fabric::SeuProcess
+/// consumes this site's streams for event gating, Poisson spacing and
+/// target selection; arm it to switch the background process on).
+inline constexpr std::string_view kSeuUpset = "seu.upset";
 }  // namespace fault_sites
 
 class FaultInjector {

@@ -56,6 +56,11 @@ class Fifo {
   /// Peek the head without consuming; nullptr when empty.
   const T* front() const { return q_.empty() ? nullptr : &q_.front(); }
 
+  /// Mutable tail access — fault models corrupt a just-pushed element
+  /// in place (payload only; occupancy and counters are untouched, so
+  /// no watcher notification is needed).
+  T* back() { return q_.empty() ? nullptr : &q_.back(); }
+
   /// Pop the head; std::nullopt when empty.
   std::optional<T> pop() {
     if (q_.empty()) return std::nullopt;

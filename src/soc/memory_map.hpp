@@ -36,7 +36,12 @@ struct IrqMap {
   static constexpr u32 kDmaMm2s = 1;
   static constexpr u32 kDmaS2mm = 2;
   static constexpr u32 kSpi = 3;
-  static constexpr u32 kNumSources = 3;
+  /// Scrub service: a full scrub pass finished (level held until the
+  /// supervisor acks via ScrubService::ack_irqs()).
+  static constexpr u32 kScrubDone = 4;
+  /// Scrub service: unrepairable damage or a transport error mid-pass.
+  static constexpr u32 kScrubError = 5;
+  static constexpr u32 kNumSources = 5;
 };
 
 }  // namespace rvcap::soc

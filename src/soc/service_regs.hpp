@@ -1,11 +1,13 @@
-// Reconfiguration-service telemetry registers.
+// Reconfiguration/scrub-service telemetry registers.
 //
 // A small AXI4-Lite register file on the peripheral bus the
 // ReconfigService publishes its counters into after every terminal
-// request event. On the real SoC this is how an external supervisor
-// (or another hart) observes queue health without sharing memory with
-// the service; here it also exercises the peripheral converter chain
-// with a write-mostly device. All registers are plain read/write words.
+// request event, and the ScrubService after every completed scrub
+// pass. On the real SoC this is how an external supervisor (or
+// another hart) observes queue and configuration-memory health without
+// sharing memory with the services; here it also exercises the
+// peripheral converter chain with a write-mostly device. All registers
+// are plain read/write words.
 #pragma once
 
 #include <array>
@@ -31,6 +33,22 @@ class ServiceRegs : public axi::AxiLiteSlave {
   static constexpr Addr kQueueDepth = 0x30;
   static constexpr Addr kMaxQueueDepth = 0x34;
 
+  // ---- scrub-service block (published per completed pass) ----
+  static constexpr Addr kScrubPasses = 0x40;
+  static constexpr Addr kScrubFrames = 0x44;
+  static constexpr Addr kScrubDetections = 0x48;
+  static constexpr Addr kScrubCorrectable = 0x4C;
+  static constexpr Addr kScrubUncorrectable = 0x50;
+  static constexpr Addr kScrubEssential = 0x54;
+  static constexpr Addr kScrubBenign = 0x58;
+  static constexpr Addr kScrubRewrites = 0x5C;
+  static constexpr Addr kScrubReloads = 0x60;
+  static constexpr Addr kScrubYields = 0x64;
+  static constexpr Addr kScrubPending = 0x68;
+  static constexpr Addr kScrubMeanMttd = 0x6C;  // core cycles
+  static constexpr Addr kScrubMeanMttr = 0x70;  // core cycles
+  static constexpr Addr kScrubFramesPerSec = 0x74;
+
   explicit ServiceRegs(std::string name) : AxiLiteSlave(std::move(name)) {}
 
  protected:
@@ -44,7 +62,7 @@ class ServiceRegs : public axi::AxiLiteSlave {
   }
 
  private:
-  std::array<u32, 16> regs_{};
+  std::array<u32, 32> regs_{};
 };
 
 }  // namespace rvcap::soc

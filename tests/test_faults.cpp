@@ -236,6 +236,54 @@ TEST_F(FaultRecoveryFixture, RecoversFromIcapCrcCorruption) {
   EXPECT_EQ(mgr.stats().recoveries, 1u);
 }
 
+TEST_F(FaultRecoveryFixture, CorruptedRepairReloadNeverReplacesGoldenSnapshot) {
+  // Regression: scrub_and_repair() must keep the existing snapshot
+  // authoritative when the repair reload is itself corrupted. The old
+  // behaviour re-snapshotted right after the reload, recording the
+  // damaged image as golden — every later scrub then silently compared
+  // against corruption.
+  ASSERT_EQ(mgr.activate("sobel"), Status::kOk);
+  ASSERT_EQ(scrubber.snapshot(soc.rp0()), Status::kOk);
+
+  // Calibrate: count the injector queries one full scrub pass makes at
+  // the ICAP write port (armed at p=0 so nothing fires), so the real
+  // plan below can skip past the detection scrub.
+  fi.arm(sites::kIcapCrcCorrupt, FaultInjector::Plan{0, 0.0, 0});
+  bool clean = false;
+  ASSERT_EQ(scrubber.scrub(soc.rp0(), &clean), Status::kOk);
+  ASSERT_TRUE(clean);
+  const u64 per_pass = fi.queries(sites::kIcapCrcCorrupt);
+
+  // Land an upset so the next scrub detects, then corrupt the repair
+  // reload itself: skip past the detection pass and ~50 words into the
+  // reload, well inside the FDRI frame payload.
+  fabric::FrameAddr fa = soc.rp0().base_frame(soc.device());
+  ASSERT_TRUE(soc.device().next_frame(&fa));
+  ASSERT_TRUE(soc.config_memory().inject_upset(fa, /*word=*/7, /*bit=*/3));
+  fi.arm(sites::kIcapCrcCorrupt,
+         FaultInjector::Plan{1, 1.0, static_cast<u32>(per_pass) + 50});
+
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  const driver::ReconfigModule m{"sobel", accel::kRmIdSobel, 0x8A00'0000,
+                                 static_cast<u32>(pbit.size())};
+  EXPECT_EQ(scrubber.scrub_and_repair(soc.rp0(), m), Status::kCrcError);
+  EXPECT_EQ(fi.fires(sites::kIcapCrcCorrupt), 1u);
+  EXPECT_EQ(scrubber.stats().repairs, 0u);
+  // The corrupted pass tripped the bitstream CRC and invalidated the
+  // partition rather than leaving the damage live.
+  EXPECT_FALSE(soc.config_memory().partition_state(soc.rp0_handle()).loaded);
+
+  // The snapshot survived: a clean reload scrubs clean against it, and
+  // a repair through the same entry point now counts.
+  ASSERT_EQ(drv.init_reconfig_process(m, DmaMode::kInterrupt), Status::kOk);
+  EXPECT_EQ(scrubber.scrub(soc.rp0(), &clean), Status::kOk);
+  EXPECT_TRUE(clean);
+  ASSERT_TRUE(soc.config_memory().inject_upset(fa, /*word=*/9, /*bit=*/1));
+  EXPECT_EQ(scrubber.scrub_and_repair(soc.rp0(), m), Status::kOk);
+  EXPECT_EQ(scrubber.stats().repairs, 1u);
+}
+
 TEST_F(FaultRecoveryFixture, FallsBackToHwicapAfterRepeatedDmaFailures) {
   DprManager::RecoveryPolicy p;
   p.fallback_after_failures = 1;

@@ -17,8 +17,11 @@
 #include "bitstream/generator.hpp"
 #include "driver/dpr_manager.hpp"
 #include "driver/hwicap_driver.hpp"
+#include "driver/reconfig_service.hpp"
 #include "driver/rvcap_driver.hpp"
+#include "driver/scrub_service.hpp"
 #include "driver/scrubber.hpp"
+#include "fabric/seu_process.hpp"
 #include "sim/fault_injector.hpp"
 #include "soc/ariane_soc.hpp"
 
@@ -249,6 +252,132 @@ TEST(KernelEquivalence, BackToBackActivationsIdentical) {
             sched.mgr.stats().reconfigurations);
   EXPECT_EQ(flat.mgr.stats().already_active_hits,
             sched.mgr.stats().already_active_hits);
+}
+
+// ---------------------------------------------------------------------
+// Background SEU process + scrub repair: identical histories per seed
+// ---------------------------------------------------------------------
+
+/// Everything observable about one radiation-under-scrub run.
+struct SeuOutcome {
+  Cycles final_cycle = 0;
+  std::vector<fabric::SeuProcess::Event> events;
+  std::vector<driver::ScrubService::JournalEntry> journal;
+  u64 landed = 0;
+  u64 detections = 0;
+  u64 rewrites = 0;
+  u64 reloads = 0;
+  u64 repaired = 0;
+  u64 self_cancelled = 0;
+  u64 passes = 0;
+  u64 mttd_total = 0;
+  u64 mttr_total = 0;
+  u64 upset_queries = 0;
+};
+
+SeuOutcome run_seu(Simulator::Mode mode) {
+  SocConfig cfg;
+  cfg.sim_mode = mode;
+  ArianeSoc soc(cfg);
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  FaultInjector fi(0xBEEF);
+  soc.attach_fault_injector(&fi);
+  DprManager mgr(drv, soc.config_memory(), soc.rp0_handle(), nullptr);
+  mgr.set_fault_injector(&fi);
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  soc.ddr().poke(0x8A00'0000, pbit);
+  EXPECT_EQ(mgr.register_staged("sobel", accel::kRmIdSobel, 0x8A00'0000,
+                                static_cast<u32>(pbit.size())),
+            Status::kOk);
+
+  driver::ReconfigService svc(mgr, driver::ReconfigService::Config{});
+  driver::ScrubService::Config sc;
+  sc.cmd_staging = 0x8C00'0000;
+  sc.rb_buffer = 0x8D00'0000;
+  sc.frames_per_slice = 128;
+  driver::ScrubService scrub(drv, soc.config_memory(), svc, sc);
+  scrub.watch_partition(soc.rp0_handle(), "sobel");
+  scrub.install_upset_feed();
+
+  driver::ReconfigService::ActivationRequest req;
+  req.module = "sobel";
+  req.priority = 1;
+  EXPECT_EQ(svc.submit(req, nullptr), Status::kOk);
+  svc.drain();
+
+  fabric::SeuProcess::Config pc;
+  pc.mean_cycles = 30'000;
+  pc.targets = {soc.rp0_handle()};
+  fabric::SeuProcess seu("seu0", soc.config_memory(), fi, pc);
+  soc.sim().add(&seu);
+  fi.arm(sites::kSeuUpset, /*count=*/5);
+
+  // Scrub until the armed upset budget has fired out and every landed
+  // hit is resolved (each pass advances sim time, so pending events on
+  // the wheel get their chance to land).
+  for (int pass = 0; pass < 20; ++pass) {
+    if (fi.fires(sites::kSeuUpset) >= 5 && scrub.pending_upsets() == 0) {
+      break;
+    }
+    EXPECT_EQ(scrub.scrub_pass(), Status::kOk);
+  }
+  EXPECT_EQ(scrub.pending_upsets(), 0u);
+
+  SeuOutcome o;
+  o.final_cycle = soc.sim().now();
+  o.events = seu.log();
+  o.journal = scrub.journal();
+  o.landed = seu.landed();
+  o.detections = scrub.stats().detections;
+  o.rewrites = scrub.stats().frame_rewrites;
+  o.reloads = scrub.stats().partition_reloads;
+  o.repaired = scrub.stats().upsets_repaired;
+  o.self_cancelled = scrub.stats().upsets_self_cancelled;
+  o.passes = scrub.stats().passes;
+  o.mttd_total = scrub.stats().mttd_cycles_total;
+  o.mttr_total = scrub.stats().mttr_cycles_total;
+  o.upset_queries = fi.queries(sites::kSeuUpset);
+  return o;
+}
+
+TEST(KernelEquivalence, SeuScrubRepairHistoryIdentical) {
+  const SeuOutcome flat = run_seu(Simulator::Mode::kFlat);
+  const SeuOutcome sched = run_seu(Simulator::Mode::kScheduled);
+
+  // The run is non-vacuous: upsets landed and repairs happened.
+  EXPECT_GT(flat.landed, 0u);
+  EXPECT_FALSE(flat.journal.empty());
+
+  // Same seed, different kernel: the upset schedule must be identical
+  // to the cycle — the SeuProcess rides the time wheel, so a wake
+  // delivered early or late would shift every `at` below.
+  EXPECT_EQ(flat.final_cycle, sched.final_cycle);
+  ASSERT_EQ(flat.events.size(), sched.events.size());
+  for (usize i = 0; i < flat.events.size(); ++i) {
+    EXPECT_EQ(flat.events[i].at, sched.events[i].at) << i;
+    EXPECT_EQ(flat.events[i].fa, sched.events[i].fa) << i;
+    EXPECT_EQ(flat.events[i].word, sched.events[i].word) << i;
+    EXPECT_EQ(flat.events[i].bit, sched.events[i].bit) << i;
+    EXPECT_EQ(flat.events[i].landed, sched.events[i].landed) << i;
+  }
+
+  // Detection and repair history, including the cycle stamps feeding
+  // MTTD/MTTR, must match entry for entry.
+  ASSERT_EQ(flat.journal.size(), sched.journal.size());
+  for (usize i = 0; i < flat.journal.size(); ++i) {
+    EXPECT_TRUE(flat.journal[i] == sched.journal[i]) << "entry " << i;
+  }
+  EXPECT_EQ(flat.landed, sched.landed);
+  EXPECT_EQ(flat.detections, sched.detections);
+  EXPECT_EQ(flat.rewrites, sched.rewrites);
+  EXPECT_EQ(flat.reloads, sched.reloads);
+  EXPECT_EQ(flat.repaired, sched.repaired);
+  EXPECT_EQ(flat.self_cancelled, sched.self_cancelled);
+  EXPECT_EQ(flat.passes, sched.passes);
+  EXPECT_EQ(flat.mttd_total, sched.mttd_total);
+  EXPECT_EQ(flat.mttr_total, sched.mttr_total);
+  EXPECT_EQ(flat.upset_queries, sched.upset_queries);
 }
 
 // ---------------------------------------------------------------------

@@ -3,12 +3,16 @@
 // verification of a loaded module.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "bitstream/generator.hpp"
 #include "bitstream/parser.hpp"
 #include "bitstream/readback.hpp"
 #include "common/bytes.hpp"
 #include "driver/hwicap_driver.hpp"
 #include "driver/rvcap_driver.hpp"
+#include "hwicap/hwicap.hpp"
 #include "common/units.hpp"
 #include "soc/ariane_soc.hpp"
 
@@ -173,6 +177,73 @@ TEST(ReadbackSequence, RequestPlusTrailerEqualsFullSequence) {
 }
 
 // ---------------------------------------------------------------------------
+// Command-builder edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ReadbackSequence, ZeroWordRequestRejectedEverywhere) {
+  const FrameAddr fa{0, 4, 0};
+  // Builders refuse to emit a zero-length FDRO read at every level.
+  EXPECT_TRUE(build_readback_request(fa, 0).empty());
+  EXPECT_TRUE(build_readback_sequence(fa, 0).empty());
+  EXPECT_TRUE(bitstream::build_readback_bytes(fa, 0).empty());
+
+  // Drivers reject before touching the hardware.
+  ArianeSoc soc{[] {
+    SocConfig c;
+    c.with_hwicap = true;
+    return c;
+  }()};
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  EXPECT_EQ(drv.readback(fa, 0, 0x8C00'0000, 0x8D00'0000,
+                         DmaMode::kBlocking),
+            Status::kInvalidArgument);
+  driver::HwIcapDriver hw(soc.cpu());
+  EXPECT_EQ(hw.readback(fa, std::span<u32>{}), Status::kInvalidArgument);
+}
+
+// The FDRO read request of the built sequence: last one or two words of
+// the request half.
+TEST(ReadbackSequence, WordCountAtType1BoundaryUsesSingleHeader) {
+  const FrameAddr fa{0, 4, 0};
+  const auto seq = build_readback_request(fa, bitstream::kType1MaxCount);
+  const auto h = bitstream::decode_packet(seq.back());
+  EXPECT_EQ(h.type, 1u);
+  EXPECT_EQ(h.op, bitstream::PacketOp::kRead);
+  EXPECT_EQ(h.reg, static_cast<u32>(bitstream::ConfigReg::kFdro));
+  EXPECT_EQ(h.count, bitstream::kType1MaxCount);
+  // No type-2 header anywhere in the request.
+  for (const u32 w : seq) {
+    EXPECT_NE(bitstream::decode_packet(w).type, 2u);
+  }
+}
+
+TEST(ReadbackSequence, WordCountPastType1BoundaryTakesType2Form) {
+  const FrameAddr fa{0, 4, 0};
+  const u32 words = bitstream::kType1MaxCount + 1;
+  const auto seq = build_readback_request(fa, words);
+  const auto t2 = bitstream::decode_packet(seq.back());
+  EXPECT_EQ(t2.type, 2u);
+  EXPECT_EQ(t2.op, bitstream::PacketOp::kRead);
+  EXPECT_EQ(t2.count, words);
+  const auto t1 = bitstream::decode_packet(seq[seq.size() - 2]);
+  EXPECT_EQ(t1.type, 1u);
+  EXPECT_EQ(t1.op, bitstream::PacketOp::kRead);
+  EXPECT_EQ(t1.reg, static_cast<u32>(bitstream::ConfigReg::kFdro));
+  EXPECT_EQ(t1.count, 0u);  // count lives in the type-2 word
+}
+
+TEST(ReadbackSequence, FrameWriteBuilderRequiresExactlyOneFrame) {
+  const FrameAddr fa{0, 4, 1};
+  const std::vector<u32> short_frame(fabric::kFrameWords - 1, 1);
+  const std::vector<u32> long_frame(fabric::kFrameWords + 1, 1);
+  const std::vector<u32> exact(fabric::kFrameWords, 1);
+  EXPECT_TRUE(bitstream::build_frame_write_sequence(fa, short_frame).empty());
+  EXPECT_TRUE(bitstream::build_frame_write_sequence(fa, long_frame).empty());
+  EXPECT_TRUE(bitstream::build_frame_write_bytes(fa, short_frame).empty());
+  EXPECT_FALSE(bitstream::build_frame_write_sequence(fa, exact).empty());
+}
+
+// ---------------------------------------------------------------------------
 // RV-CAP DMA readback + safe-DPR verification
 // ---------------------------------------------------------------------------
 
@@ -273,6 +344,129 @@ TEST(HwicapReadback, ReadFifoPathMatchesConfigMemory) {
   std::vector<u32> out(fabric::kFrameWords);
   ASSERT_EQ(hw.readback(soc.rp0().base_frame(soc.device()), out),
             Status::kOk);
+  const auto expect =
+      expected_frames(soc.device(), soc.rp0(), accel::kRmIdSobel);
+  for (u32 i = 0; i < fabric::kFrameWords; ++i) {
+    ASSERT_EQ(out[i], expect[i]) << "word " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HWICAP keyhole misuse: trailer written before the read has drained
+// ---------------------------------------------------------------------------
+
+struct HwicapKeyholeFixture : ::testing::Test {
+  HwicapKeyholeFixture()
+      : soc([] {
+          SocConfig c;
+          c.with_hwicap = true;
+          return c;
+        }()),
+        loader(soc.cpu(), soc.plic()),
+        base(MemoryMap::kHwicap.base) {
+    const auto pbit = bitstream::generate_partial_bitstream(
+        soc.device(), soc.rp0(), {accel::kRmIdSobel, "s"});
+    soc.ddr().poke(MemoryMap::kPbitStagingBase, pbit);
+    driver::ReconfigModule m{"", accel::kRmIdSobel,
+                             MemoryMap::kPbitStagingBase,
+                             static_cast<u32>(pbit.size())};
+    EXPECT_EQ(loader.init_reconfig_process(m, DmaMode::kInterrupt),
+              Status::kOk);
+  }
+
+  void push_words(std::span<const u32> words) {
+    for (const u32 w : words) {
+      soc.cpu().store32_uncached(base + hwicap::HwIcap::kWf, w);
+    }
+  }
+
+  bool poll_done(u32 iters) {
+    for (u32 i = 0; i < iters; ++i) {
+      if (soc.cpu().load32_uncached(base + hwicap::HwIcap::kSr) &
+          hwicap::HwIcap::kSrDone) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  ArianeSoc soc;
+  driver::RvCapDriver loader;
+  Addr base;
+};
+
+TEST_F(HwicapKeyholeFixture, TrailerBeforeDrainAbsorbedByTurnaround) {
+  // Misuse: the desync trailer is queued in the same keyhole flush as
+  // the read request, before any readback word has been drained. The
+  // port turns around after the FDRO packet and stops consuming input,
+  // but the trailer (4 words) fits exactly in the ICAP input buffer, so
+  // the core's flush still completes and the data survives intact.
+  const FrameAddr fa = soc.rp0().base_frame(soc.device());
+  push_words(build_readback_request(fa, fabric::kFrameWords));
+  push_words(build_readback_trailer());
+  soc.cpu().store32_uncached(base + hwicap::HwIcap::kCr,
+                             hwicap::HwIcap::kCrWrite);
+  ASSERT_TRUE(poll_done(200'000));
+
+  // The DESYNC is parked behind the stalled port, not executed.
+  EXPECT_TRUE(soc.icap().synced());
+  const u64 desyncs_before = soc.icap().desync_count();
+
+  // The read drains normally.
+  soc.cpu().store32_uncached(base + hwicap::HwIcap::kSz, fabric::kFrameWords);
+  soc.cpu().store32_uncached(base + hwicap::HwIcap::kCr,
+                             hwicap::HwIcap::kCrRead);
+  std::vector<u32> out;
+  while (out.size() < fabric::kFrameWords) {
+    u32 occupancy = 0;
+    for (u32 poll = 0; poll < 100'000 && occupancy == 0; ++poll) {
+      occupancy = soc.cpu().load32_uncached(base + hwicap::HwIcap::kRfo);
+    }
+    ASSERT_NE(occupancy, 0u);
+    out.push_back(soc.cpu().load32_uncached(base + hwicap::HwIcap::kRf));
+  }
+  const auto expect =
+      expected_frames(soc.device(), soc.rp0(), accel::kRmIdSobel);
+  for (u32 i = 0; i < fabric::kFrameWords; ++i) {
+    ASSERT_EQ(out[i], expect[i]) << "word " << i;
+  }
+
+  // Once the read has drained, the parked trailer goes through and the
+  // DESYNC finally executes.
+  ASSERT_TRUE(soc.sim().run_until(
+      [&] { return soc.icap().desync_count() > desyncs_before; }, 10'000));
+  EXPECT_FALSE(soc.icap().synced());
+}
+
+TEST_F(HwicapKeyholeFixture, BatchedSecondRequestWedgesFlushUntilReset) {
+  // Worse misuse: two complete request+trailer sequences batched into
+  // one flush. The 20 words behind the first FDRO packet exceed the
+  // ICAP input buffer, the write FIFO can never drain, and SR.Done
+  // never sets — the keyhole is wedged until the core is reset.
+  const FrameAddr fa = soc.rp0().base_frame(soc.device());
+  const auto request = build_readback_request(fa, fabric::kFrameWords);
+  const auto trailer = build_readback_trailer();
+  push_words(request);
+  push_words(trailer);
+  push_words(request);
+  push_words(trailer);
+  soc.cpu().store32_uncached(base + hwicap::HwIcap::kCr,
+                             hwicap::HwIcap::kCrWrite);
+  EXPECT_FALSE(poll_done(50'000));
+  EXPECT_TRUE(soc.hwicap().transfer_active());
+
+  // Recovery: soft-reset the core first (dropping the words still queued
+  // in its write FIFO — clearing the port first would let them drain into
+  // the revived port mid-reset and re-wedge it), then abort the ICAP
+  // (RP-control abort pulse). A fresh readback then works end to end.
+  soc.cpu().store32_uncached(base + hwicap::HwIcap::kCr,
+                             hwicap::HwIcap::kCrSwReset);
+  soc.icap().abort();
+  ASSERT_TRUE(poll_done(1'000));
+
+  driver::HwIcapDriver hw(soc.cpu(), 16);
+  std::vector<u32> out(fabric::kFrameWords);
+  ASSERT_EQ(hw.readback(fa, out), Status::kOk);
   const auto expect =
       expected_frames(soc.device(), soc.rp0(), accel::kRmIdSobel);
   for (u32 i = 0; i < fabric::kFrameWords; ++i) {
