@@ -9,11 +9,17 @@
 // SimStats work-avoidance counters, and appends the wall-clock numbers
 // to BENCH_kernel.json (the perf trajectory record). Exit status is
 // non-zero if the two kernels diverge.
+// `bench_micro --trace[=path]` skips the benchmark suite and instead
+// captures a fully traced DMA reconfiguration: it writes a
+// Perfetto-loadable Chrome trace (default trace.json), prints the
+// counter/histogram dump, and reports the tracing overhead on the
+// tick rate (EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "accel/filters.hpp"
 #include "bench_util.hpp"
@@ -21,6 +27,7 @@
 #include "common/rng.hpp"
 #include "icap/icap.hpp"
 #include "mem/ddr.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -169,11 +176,13 @@ KernelRun run_idle_wait(sim::Simulator::Mode mode, Cycles cycles) {
 /// Busy workload: a complete Listing-1 reconfiguration (DMA + ICAP
 /// streaming, interrupt completion). Little idle time, so this bounds
 /// the scheduled kernel's bookkeeping overhead from above.
-KernelRun run_dma_reconfig(sim::Simulator::Mode mode) {
+KernelRun run_dma_reconfig(sim::Simulator::Mode mode,
+                           bool enable_trace = false) {
   soc::SocConfig cfg;
   cfg.sim_mode = mode;
   soc::ArianeSoc soc(cfg);
   driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  soc.sim().obs().sink().set_enabled(enable_trace);
   const auto t0 = std::chrono::steady_clock::now();
   const auto res = bench::run_rvcap_reconfig(soc, drv, accel::kRmIdSobel,
                                              driver::DmaMode::kInterrupt);
@@ -284,9 +293,79 @@ int run_kernel_comparison() {
   return 0;
 }
 
+// ------------------------------------------------------------------
+// --trace mode: capture a Perfetto-loadable trace + overhead numbers
+// ------------------------------------------------------------------
+
+int run_trace_capture(const char* path) {
+  bench::print_header("Traced DMA reconfiguration -> Chrome trace JSON");
+  if (!obs::trace_compiled_in()) {
+    std::printf("  built with RVCAP_NO_TRACE: event tracing is compiled "
+                "out, nothing to capture\n");
+    return 1;
+  }
+
+  // Overhead on the same workload: macros present but sink disabled
+  // (the default build's steady state) vs. sink enabled and recording.
+  const KernelRun off = run_dma_reconfig(sim::Simulator::Mode::kScheduled,
+                                         /*enable_trace=*/false);
+  const KernelRun on = run_dma_reconfig(sim::Simulator::Mode::kScheduled,
+                                        /*enable_trace=*/true);
+  const double rate_off =
+      off.seconds > 0 ? static_cast<double>(off.final_cycle) / off.seconds : 0;
+  const double rate_on =
+      on.seconds > 0 ? static_cast<double>(on.final_cycle) / on.seconds : 0;
+  std::printf("  compiled-in, disabled: %.1f Mcycle/s\n", rate_off / 1e6);
+  std::printf("  enabled + recording:   %.1f Mcycle/s (%.1f%% of disabled)"
+              "\n",
+              rate_on / 1e6, rate_off > 0 ? 100.0 * rate_on / rate_off : 0);
+  if (!off.loaded || !on.loaded) {
+    std::printf("  ERROR: reconfiguration failed\n");
+    return 1;
+  }
+
+  // The enabled run above threw its SoC away; capture a fresh traced
+  // run and export everything it observed.
+  soc::SocConfig cfg;
+  soc::ArianeSoc soc(cfg);
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  soc.sim().obs().sink().set_enabled(true);
+  const auto res = bench::run_rvcap_reconfig(soc, drv, accel::kRmIdSobel,
+                                             driver::DmaMode::kInterrupt);
+  if (!res.loaded) {
+    std::printf("  ERROR: traced reconfiguration failed\n");
+    return 1;
+  }
+  if (!obs::write_chrome_trace(soc.sim().obs(), path)) {
+    std::printf("  ERROR: could not write %s\n", path);
+    return 1;
+  }
+  const obs::TraceSink& sink = soc.sim().obs().sink();
+  std::printf("  wrote %s (%llu events emitted, %zu retained)\n", path,
+              static_cast<unsigned long long>(sink.total_events()),
+              sink.events().size());
+  std::printf("\n%s", obs::stats_text(soc.sim().obs()).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --trace[=path] before google-benchmark sees the arg list.
+  const char* trace_path = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (trace_path != nullptr) return run_trace_capture(trace_path);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -2,7 +2,7 @@
 // optimization study — T_d / T_r with interrupt vs. blocking completion
 // for RV-CAP, and the loop-unroll sweep for the AXI_HWICAP driver.
 #include "bench_util.hpp"
-#include "sim/probe.hpp"
+#include "obs/link_probe.hpp"
 
 using namespace rvcap;
 
@@ -12,8 +12,8 @@ int main() {
   // ---- RV-CAP, interrupt ("non-blocking") and polling modes ----
   soc::ArianeSoc rv_soc((soc::SocConfig()));
   driver::RvCapDriver rv_drv(rv_soc.cpu(), rv_soc.plic());
-  sim::ThroughputProbe<u32> icap_probe("icap_port",
-                                       rv_soc.icap().port());
+  obs::LinkProbe<u32> icap_probe("icap_port",
+                                 rv_soc.icap().port());
   rv_soc.sim().add(&icap_probe);
 
   icap_probe.reset();

@@ -1,6 +1,7 @@
 #include "axi/crossbar.hpp"
 
 #include "common/log.hpp"
+#include "obs/observability.hpp"
 
 namespace rvcap::axi {
 
@@ -12,7 +13,18 @@ usize AxiCrossbar::add_manager(AxiPort* port) {
   active_writes_.emplace_back();
   error_reads_.emplace_back();
   pending_error_b_.push_back(0);
+  stalls_.push_back(0);
   return managers_.size() - 1;
+}
+
+void AxiCrossbar::on_register(obs::Observability& o) {
+  const std::string prefix(name());
+  obs::CounterRegistry& c = o.counters();
+  c.register_fn(prefix + ".decode_errors", [this] { return decode_errors_; });
+  for (usize m = 0; m < managers_.size(); ++m) {
+    c.register_fn(prefix + ".m" + std::to_string(m) + ".stall_cycles",
+                  [this, m] { return stalls_[m]; });
+  }
 }
 
 void AxiCrossbar::add_subordinate(const AddrRange& range, AxiPort* port) {
@@ -44,6 +56,19 @@ bool AxiCrossbar::tick() {
   progress |= forward_w();
   progress |= arbitrate_ar();
   progress |= arbitrate_aw();
+  if (progress) {
+    // Contention census, gated on progress so skipped (provably no-op)
+    // ticks under the scheduled kernel never desynchronise the counts:
+    // a manager whose request is still unaccepted after arbitration
+    // lost this cycle to another master or to subordinate back-pressure.
+    for (usize m = 0; m < managers_.size(); ++m) {
+      if (managers_[m]->ar.front() != nullptr ||
+          (managers_[m]->aw.front() != nullptr &&
+           !active_writes_[m].has_value())) {
+        ++stalls_[m];
+      }
+    }
+  }
   return progress;
 }
 
@@ -65,7 +90,8 @@ bool AxiCrossbar::arbitrate_ar() {
     }
     if (!subs_[*sub]->ar.can_push()) continue;
     subs_[*sub]->ar.push(*ar);
-    read_routes_[*sub].push_back(ReadRoute{m, u32{ar->len} + 1});
+    read_routes_[*sub].push_back(
+        ReadRoute{m, u32{ar->len} + 1, u32{ar->len} + 1, ar->addr, sim_now()});
     managers_[m]->ar.pop();
     rr_ar_ = (m + 1) % n;
     return true;
@@ -91,7 +117,8 @@ bool AxiCrossbar::arbitrate_aw() {
     }
     if (!subs_[*sub]->aw.can_push()) continue;
     subs_[*sub]->aw.push(*aw);
-    write_routes_[*sub].push_back(m);
+    write_routes_[*sub].push_back(
+        WriteRoute{m, u32{aw->len} + 1, aw->addr, sim_now()});
     active_writes_[m] = ActiveWrite{*sub, u32{aw->len} + 1, false};
     managers_[m]->aw.pop();
     rr_aw_ = (m + 1) % n;
@@ -139,7 +166,12 @@ bool AxiCrossbar::return_r() {
     const bool last = r->last;  // r points into the FIFO; pop() frees it
     subs_[s]->r.pop();
     progress = true;
-    if (--route.beats_left == 0 || last) read_routes_[s].pop_front();
+    if (--route.beats_left == 0 || last) {
+      RVCAP_TRACE(trace_sink(), obs::EventKind::kAxiRead, trace_src(),
+                  sim_now(), route.addr, route.beats_total,
+                  sim_now() - route.start + 1);
+      read_routes_[s].pop_front();
+    }
   }
   return progress;
 }
@@ -150,10 +182,14 @@ bool AxiCrossbar::return_b() {
     if (write_routes_[s].empty()) continue;
     const AxiB* b = subs_[s]->b.front();
     if (b == nullptr) continue;
-    AxiPort* mgr = managers_[write_routes_[s].front()];
+    const WriteRoute& route = write_routes_[s].front();
+    AxiPort* mgr = managers_[route.manager];
     if (!mgr->b.can_push()) continue;
     mgr->b.push(*b);
     subs_[s]->b.pop();
+    RVCAP_TRACE(trace_sink(), obs::EventKind::kAxiWrite, trace_src(),
+                sim_now(), route.addr, route.beats,
+                sim_now() - route.start + 1);
     write_routes_[s].pop_front();
     progress = true;
   }

@@ -32,14 +32,29 @@ class AxiCrossbar : public sim::Component {
 
   bool tick() override;
   bool busy() const override;
+  void on_register(obs::Observability& o) override;
 
   /// Count of address-decode failures (DECERR responses generated).
   u64 decode_errors() const { return decode_errors_; }
+
+  /// Cycles manager m spent with an unaccepted AR/AW at the end of a
+  /// progressing tick — the interconnect contention metric. Counted
+  /// only inside progressing ticks so both kernels agree exactly.
+  u64 stall_cycles(usize m) const { return stalls_[m]; }
 
  private:
   struct ReadRoute {
     usize manager;
     u32 beats_left;
+    u32 beats_total;  // burst length, for the retire event
+    Addr addr;
+    Cycles start;     // AR accept cycle
+  };
+  struct WriteRoute {
+    usize manager;
+    u32 beats;
+    Addr addr;
+    Cycles start;     // AW accept cycle
   };
   struct ActiveWrite {
     usize sub;           // target subordinate index
@@ -64,7 +79,7 @@ class AxiCrossbar : public sim::Component {
 
   // Per-subordinate queues of outstanding transactions (oldest first).
   std::vector<std::deque<ReadRoute>> read_routes_;
-  std::vector<std::deque<usize>> write_routes_;  // manager indices
+  std::vector<std::deque<WriteRoute>> write_routes_;
   // Per-manager in-progress write burst; AXI forbids interleaving W
   // beats of different bursts from one manager, so one slot suffices.
   std::vector<std::optional<ActiveWrite>> active_writes_;
@@ -74,6 +89,7 @@ class AxiCrossbar : public sim::Component {
   usize rr_ar_ = 0;  // round-robin pointers
   usize rr_aw_ = 0;
   u64 decode_errors_ = 0;
+  std::vector<u64> stalls_;  // per manager
 };
 
 }  // namespace rvcap::axi

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "axi/types.hpp"
+#include "obs/observability.hpp"
 #include "sim/component.hpp"
 
 namespace rvcap::axi {
@@ -23,16 +24,28 @@ class AxisWire : public sim::Component {
 
   bool tick() override {
     if (from_.can_pop() && to_.can_push()) {
-      to_.push(*from_.pop());
+      const AxisBeat b = *from_.pop();
+      to_.push(b);
+      ++beats_;
+      RVCAP_TRACE(trace_sink(), obs::EventKind::kAxisBeat, trace_src(),
+                  sim_now(), b.data & 0xFFFFFFFF, b.last ? 1 : 0);
       return true;
     }
     return false;
   }
   bool busy() const override { return from_.can_pop(); }
 
+  void on_register(obs::Observability& o) override {
+    o.counters().register_fn(std::string(name()) + ".beats",
+                             [this] { return beats_; });
+  }
+
+  u64 beats_moved() const { return beats_; }
+
  private:
   AxisFifo& from_;
   AxisFifo& to_;
+  u64 beats_ = 0;
 };
 
 /// Full AXI link between a manager-facing and a subordinate-facing port:

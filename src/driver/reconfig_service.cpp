@@ -10,7 +10,24 @@
 namespace rvcap::driver {
 
 ReconfigService::ReconfigService(DprManager& mgr, const Config& cfg)
-    : mgr_(mgr), cfg_(cfg) {}
+    : mgr_(mgr), cfg_(cfg) {
+  obs::Observability& o = mgr_.driver().cpu_context().simulator().obs();
+  sink_ = &o.sink();
+  src_ = sink_->intern("reconfig_service");
+  obs::CounterRegistry& c = o.counters();
+  c.register_fn("service.queue_depth",
+                [this] { return static_cast<u64>(queue_depth()); });
+  c.register_fn("service.accepted", [this] { return stats_.accepted; });
+  c.register_fn("service.completed", [this] { return stats_.completed; });
+  c.register_fn("service.hangs", [this] { return stats_.hangs; });
+  wait_ticks_ = c.histogram("service.wait_ticks");
+  active_ticks_ = c.histogram("service.active_ticks");
+}
+
+void ReconfigService::trace(obs::EventKind kind, u64 a0, u64 a1, u64 a2) {
+  RVCAP_TRACE(sink_, kind, src_, mgr_.driver().cpu_context().now(), a0, a1,
+              a2);
+}
 
 ReconfigService::RequestRecord* ReconfigService::find(RequestId id) {
   if (id == 0 || id > records_.size()) return nullptr;
@@ -121,7 +138,11 @@ Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
   // refused without touching the staging cache or the volume.
   if (quarantined(req.module)) {
     ++stats_.quarantine_rejects;
-    make_record(RequestState::kRejected, Status::kQuarantined);
+    RequestRecord& r = make_record(RequestState::kRejected,
+                                   Status::kQuarantined);
+    trace(obs::EventKind::kSvcSubmit, r.id, req.priority);
+    trace(obs::EventKind::kSvcReject, r.id,
+          static_cast<u64>(Status::kQuarantined));
     publish_stats();
     return Status::kQuarantined;
   }
@@ -130,7 +151,10 @@ Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
   if (req.deadline_mtime != 0 &&
       mgr_.driver().mtime() > req.deadline_mtime) {
     ++stats_.deadline_missed;
-    make_record(RequestState::kDeadlineMissed, Status::kDeadlineMissed);
+    RequestRecord& r =
+        make_record(RequestState::kDeadlineMissed, Status::kDeadlineMissed);
+    trace(obs::EventKind::kSvcSubmit, r.id, req.priority);
+    trace(obs::EventKind::kSvcDeadlineMiss, r.id);
     publish_stats();
     return Status::kDeadlineMissed;
   }
@@ -138,7 +162,9 @@ Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
   // Pre-flight parse of the staged image (stages it on a miss).
   if (cfg_.preflight) {
     if (auto st = preflight(req); !ok(st)) {
-      make_record(RequestState::kRejected, st);
+      RequestRecord& r = make_record(RequestState::kRejected, st);
+      trace(obs::EventKind::kSvcSubmit, r.id, req.priority);
+      trace(obs::EventKind::kSvcReject, r.id, static_cast<u64>(st));
       publish_stats();
       return st == Status::kRejected ? Status::kRejected : st;
     }
@@ -161,6 +187,8 @@ Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
     const RequestId parent = q.id;
     RequestRecord& r = make_record(RequestState::kCoalesced, Status::kOk);
     r.merged_into = parent;
+    trace(obs::EventKind::kSvcSubmit, r.id, req.priority);
+    trace(obs::EventKind::kSvcCoalesce, r.id, parent);
     publish_stats();
     return Status::kOk;
   }
@@ -178,19 +206,25 @@ Status ReconfigService::submit(const ActivationRequest& req, RequestId* id) {
     }
     if (victim == nullptr || req.priority <= victim->req.priority) {
       ++stats_.rejected_full;
-      make_record(RequestState::kRejected, Status::kRejected);
+      RequestRecord& r = make_record(RequestState::kRejected,
+                                     Status::kRejected);
+      trace(obs::EventKind::kSvcSubmit, r.id, req.priority);
+      trace(obs::EventKind::kSvcReject, r.id,
+            static_cast<u64>(Status::kRejected));
       publish_stats();
       return Status::kRejected;
     }
     ++stats_.shed;
+    trace(obs::EventKind::kSvcShed, victim->id, victim->req.priority);
     finish(*victim, RequestState::kShed, Status::kRejected);
   }
 
   RequestRecord& r = make_record(RequestState::kQueued, Status::kOk);
-  (void)r;
   ++stats_.accepted;
   stats_.max_queue_depth = std::max<u64>(stats_.max_queue_depth,
                                          queue_depth());
+  trace(obs::EventKind::kSvcSubmit, r.id, req.priority);
+  trace(obs::EventKind::kSvcAdmit, r.id, queue_depth());
   publish_stats();
   return Status::kOk;
 }
@@ -201,6 +235,7 @@ Status ReconfigService::cancel(RequestId id) {
   if (r->state == RequestState::kActive) return Status::kDeviceBusy;
   if (r->state != RequestState::kQueued) return Status::kInvalidArgument;
   ++stats_.cancelled;
+  trace(obs::EventKind::kSvcCancel, r->id);
   finish(*r, RequestState::kCancelled, Status::kCancelled);
   publish_stats();
   return Status::kOk;
@@ -238,6 +273,7 @@ bool ReconfigService::step() {
   if (r->req.deadline_mtime != 0 && now > r->req.deadline_mtime) {
     // Expired while queued: skip without touching the hardware.
     ++stats_.deadline_missed;
+    trace(obs::EventKind::kSvcDeadlineMiss, r->id);
     finish(*r, RequestState::kDeadlineMissed, Status::kDeadlineMissed);
     publish_stats();
     return true;
@@ -246,6 +282,9 @@ bool ReconfigService::step() {
   r->state = RequestState::kActive;
   r->start_mtime = now;
   active_ = r->id;
+  const u64 wait = now - r->submit_mtime;
+  if (wait_ticks_ != nullptr) wait_ticks_->record(wait);
+  trace(obs::EventKind::kSvcDispatch, r->id, wait);
 
   // The service doubles as the transfer watchdog for the dispatch.
   RvCapDriver& drv = mgr_.driver();
@@ -261,6 +300,13 @@ bool ReconfigService::step() {
   } else {
     ++stats_.failed;
     finish(*r, RequestState::kFailed, s);
+  }
+  const u64 active = r->done_mtime - r->start_mtime;
+  if (active_ticks_ != nullptr) active_ticks_->record(active);
+  if (ok(s)) {
+    trace(obs::EventKind::kSvcComplete, r->id, active);
+  } else {
+    trace(obs::EventKind::kSvcFail, r->id, static_cast<u64>(s), active);
   }
   publish_stats();
   return true;
@@ -302,6 +348,8 @@ bool ReconfigService::on_poll(const TransferProgress& p) {
       wd_expected_beats_ > p.beats ? wd_expected_beats_ - p.beats : 0;
   d.polls_without_progress = wd_stalled_polls_;
   hangs_.push_back(d);
+  trace(obs::EventKind::kSvcHang, active_, d.outstanding_beats,
+        d.polls_without_progress);
   log_warn("reconfig_service: watchdog hang, beats frozen at ", p.beats,
            " of ", wd_expected_beats_);
   return false;

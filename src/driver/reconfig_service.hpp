@@ -42,6 +42,7 @@
 #include "common/units.hpp"
 #include "driver/dpr_manager.hpp"
 #include "driver/progress.hpp"
+#include "obs/observability.hpp"
 
 namespace rvcap::driver {
 
@@ -163,6 +164,7 @@ class ReconfigService : public ProgressMonitor {
   void finish(RequestRecord& r, RequestState state, Status status);
   void publish_stats();
   Status preflight(const ActivationRequest& req);
+  void trace(obs::EventKind kind, u64 a0, u64 a1 = 0, u64 a2 = 0);
 
   DprManager& mgr_;
   Config cfg_;
@@ -178,6 +180,12 @@ class ReconfigService : public ProgressMonitor {
   u32 wd_last_beats_ = 0;
   u32 wd_stalled_polls_ = 0;
   bool wd_tripped_ = false;
+
+  // Observability (bound to the CPU's simulator at construction).
+  obs::TraceSink* sink_ = nullptr;
+  u16 src_ = 0;
+  obs::Histogram* wait_ticks_ = nullptr;    // submit -> dispatch, mtime
+  obs::Histogram* active_ticks_ = nullptr;  // dispatch -> terminal, mtime
 };
 
 }  // namespace rvcap::driver

@@ -8,6 +8,7 @@
 #include "common/bytes.hpp"
 #include "common/log.hpp"
 #include "soc/memory_map.hpp"
+#include "soc/perf_regs.hpp"
 
 namespace rvcap::driver {
 
@@ -16,9 +17,9 @@ using rvcap_ctrl::RpControl;
 
 RvCapDriver::RvCapDriver(cpu::CpuContext& cpu, irq::Plic& plic,
                          Addr dma_base, Addr rp_base, Addr plic_base,
-                         Addr clint_base)
+                         Addr clint_base, Addr perf_base)
     : cpu_(cpu), plic_(plic), dma_base_(dma_base), rp_base_(rp_base),
-      plic_base_(plic_base), timer_(cpu, clint_base) {
+      plic_base_(plic_base), perf_base_(perf_base), timer_(cpu, clint_base) {
   // Enable the DMA completion sources at the PLIC (priority 1).
   cpu_.store32_uncached(plic_base_ + irq::Plic::kEnableBase,
                         (1u << soc::IrqMap::kDmaMm2s) |
@@ -414,6 +415,22 @@ void RvCapDriver::rm_reg_write(u32 index, u32 value) {
 
 u32 RvCapDriver::rm_reg_read(u32 index) {
   return cpu_.load32_uncached(rp_base_ + RpControl::kRmRegBase + 4 * index);
+}
+
+void RvCapDriver::perf_select(u32 index) {
+  cpu_.store32_uncached(perf_base_ + soc::PerfRegs::kSelect, index);
+}
+
+u64 RvCapDriver::perf_read() {
+  // LO latches the full 64-bit value; HI returns the latched half, so
+  // the pair is tear-free even while the counter keeps moving.
+  const u32 lo = cpu_.load32_uncached(perf_base_ + soc::PerfRegs::kValueLo);
+  const u32 hi = cpu_.load32_uncached(perf_base_ + soc::PerfRegs::kValueHi);
+  return (u64{hi} << 32) | lo;
+}
+
+u32 RvCapDriver::perf_count() {
+  return cpu_.load32_uncached(perf_base_ + soc::PerfRegs::kCount);
 }
 
 }  // namespace rvcap::driver

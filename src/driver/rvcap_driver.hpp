@@ -77,7 +77,8 @@ class RvCapDriver {
               Addr dma_base = soc::MemoryMap::kDmaCtrl.base,
               Addr rp_base = soc::MemoryMap::kRpCtrl.base,
               Addr plic_base = soc::MemoryMap::kPlic.base,
-              Addr clint_base = soc::MemoryMap::kClint.base);
+              Addr clint_base = soc::MemoryMap::kClint.base,
+              Addr perf_base = soc::MemoryMap::kPerfRegs.base);
 
   /// Step 1 (Listing 1): read each module's pbit size from the FAT32
   /// volume and load the bitstream from the SD card to its DDR staging
@@ -168,6 +169,15 @@ class RvCapDriver {
   /// Current CLINT mtime (exposed so services can timestamp events).
   u64 mtime() { return timer_.read_mtime(); }
 
+  // ---- PerfRegs window (soc::PerfRegs MMIO; firmware-style access) ----
+  /// Select the counter index the next perf_read() returns. Indices
+  /// wrap modulo perf_count(), so a free-running scan is safe.
+  void perf_select(u32 index);
+  /// Read the selected counter's latched 64-bit value (LO then HI).
+  u64 perf_read();
+  /// Number of counters registered behind the window.
+  u32 perf_count();
+
   /// The CPU context driver services run on (scrubber, manager).
   cpu::CpuContext& cpu_context() { return cpu_; }
 
@@ -186,6 +196,7 @@ class RvCapDriver {
   Addr dma_base_;
   Addr rp_base_;
   Addr plic_base_;
+  Addr perf_base_;
   TimerDriver timer_;
   Timing timing_;
   Timeouts timeouts_;

@@ -42,6 +42,7 @@
 #include "driver/rvcap_driver.hpp"
 #include "fabric/config_memory.hpp"
 #include "irq/plic.hpp"
+#include "obs/observability.hpp"
 
 namespace rvcap::driver {
 
@@ -181,6 +182,7 @@ class ScrubService {
   void raise_error();
   void record(u64 at, const fabric::FrameAddr& fa, fabric::EccClass cls,
               Action action, u32 word, u32 bit, bool essential);
+  void trace(obs::EventKind kind, u64 a0, u64 a1 = 0, u64 a2 = 0);
   void mark_detected(u32 far, u64 t);
   void resolve_repaired(u32 far, u64 t);
   void resolve_partition(usize handle, u64 t);
@@ -201,6 +203,12 @@ class ScrubService {
   usize cur_watch_ = 0;
   usize cur_frame_ = 0;
   u64 pass_start_ = 0;  // cycle the current pass began
+
+  // Observability (bound to the CPU's simulator at construction).
+  obs::TraceSink* sink_ = nullptr;
+  u16 src_ = 0;
+  obs::Histogram* mttd_cycles_ = nullptr;  // inject -> syndrome hit
+  obs::Histogram* mttr_cycles_ = nullptr;  // inject -> fabric clean
 };
 
 }  // namespace rvcap::driver

@@ -1,6 +1,7 @@
 #include "hwicap/hwicap.hpp"
 
 #include "common/log.hpp"
+#include "obs/observability.hpp"
 
 namespace rvcap::hwicap {
 
@@ -10,6 +11,17 @@ HwIcap::HwIcap(std::string name, icap::Icap& icap, u32 write_fifo_depth,
       rfifo_(read_fifo_depth) {
   icap_.port().watch(this);       // vacancy reopens the drain
   icap_.read_port().watch(this);  // readback words arriving
+}
+
+void HwIcap::on_register(obs::Observability& o) {
+  const std::string prefix(name());
+  obs::CounterRegistry& c = o.counters();
+  c.register_fn(prefix + ".words_written", [this] { return words_written_; });
+  c.register_fn(prefix + ".dropped_words", [this] { return dropped_words_; });
+  c.register_fn(prefix + ".write_fifo_hwm",
+                [this] { return static_cast<u64>(fifo_.high_water()); });
+  c.register_fn(prefix + ".read_fifo_hwm",
+                [this] { return static_cast<u64>(rfifo_.high_water()); });
 }
 
 bool HwIcap::device_tick() {

@@ -45,6 +45,8 @@ class HwIcap : public axi::AxiLiteSlave {
   u64 words_written() const { return words_written_; }
   bool transfer_active() const { return writing_ || read_left_ > 0; }
 
+  void on_register(obs::Observability& o) override;
+
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;

@@ -1,6 +1,7 @@
 #include "icap/icap.hpp"
 
 #include "common/log.hpp"
+#include "obs/observability.hpp"
 
 namespace rvcap::icap {
 
@@ -17,6 +18,18 @@ Icap::Icap(std::string name, fabric::ConfigMemory& cfg)
   rdata_.watch(this);  // reader draining the readback FIFO
 }
 
+void Icap::on_register(obs::Observability& o) {
+  const std::string prefix(name());
+  obs::CounterRegistry& c = o.counters();
+  c.register_fn(prefix + ".words", [this] { return words_; });
+  c.register_fn(prefix + ".frames", [this] { return frames_committed_; });
+  c.register_fn(prefix + ".readback_words",
+                [this] { return words_read_back_; });
+  c.register_fn(prefix + ".desyncs", [this] { return desyncs_; });
+  c.register_fn(prefix + ".port_hwm",
+                [this] { return static_cast<u64>(in_.high_water()); });
+}
+
 bool Icap::tick() {
   // Half-duplex 32-bit port: while a readback drains, input stalls.
   if (read_words_left_ > 0) {
@@ -25,6 +38,8 @@ bool Icap::tick() {
   // One 32-bit word per cycle: the 400 MB/s physical ceiling.
   if (auto w = in_.pop()) {
     ++words_;
+    RVCAP_TRACE(trace_sink(), obs::EventKind::kIcapWord, trace_src(),
+                sim_now(), *w);
     consume(*w);
     return true;
   }
@@ -63,6 +78,8 @@ bool Icap::emit_read_word() {
                        : 0;  // unwritten frames read back as zeros
   rdata_.push(word);
   ++words_read_back_;
+  RVCAP_TRACE(trace_sink(), obs::EventKind::kIcapReadWord, trace_src(),
+              sim_now(), word);
   if (++read_word_in_frame_ == fabric::kFrameWords) {
     read_word_in_frame_ = 0;
     fabric::FrameAddr next = fa;
@@ -200,6 +217,8 @@ void Icap::reg_write(u32 reg, u32 data) {
           wcfg_ = false;
           frame_buf_.clear();
           ++desyncs_;
+          RVCAP_TRACE(trace_sink(), obs::EventKind::kIcapDesync, trace_src(),
+                      sim_now(), words_);
           // The legacy per-component counter was pre-incremented at the
           // top of tick(), so a DESYNC during the tick at cycle T
           // recorded T+1; preserved for bit-identical journals.
@@ -234,6 +253,8 @@ void Icap::frame_word(u32 data) {
   const fabric::FrameAddr fa = fabric::FrameAddr::decode(far_);
   cfg_.write_frame(fa, frame_buf_);
   ++frames_committed_;
+  RVCAP_TRACE(trace_sink(), obs::EventKind::kIcapFrame, trace_src(),
+              sim_now(), far_);
   frame_buf_.clear();
   // FAR auto-increment in device configuration order.
   fabric::FrameAddr next = fa;

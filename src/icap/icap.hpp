@@ -61,6 +61,8 @@ class Icap : public sim::Component {
   /// Optional fault injection (sites: icap.sync_loss, icap.crc).
   void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
 
+  void on_register(obs::Observability& o) override;
+
  private:
   enum class State {
     kUnsynced,   // hunting for the sync word

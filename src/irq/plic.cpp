@@ -1,5 +1,7 @@
 #include "irq/plic.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rvcap::irq {
 
 Plic::Plic(std::string name, u32 num_sources)
@@ -14,6 +16,9 @@ void Plic::set_source_level(u32 source, bool level) {
   if (source == 0 || source >= level_.size()) return;
   if (level_[source] != level) {
     level_[source] = level;
+    RVCAP_TRACE(trace_sink(),
+                level ? obs::EventKind::kIrqRaise : obs::EventKind::kIrqLower,
+                trace_src(), sim_now(), source);
     wake();
   }
 }
@@ -73,6 +78,8 @@ u32 Plic::read_reg(Addr addr) {
     if (s != 0) {
       pending_[s] = false;
       in_flight_[s] = true;
+      RVCAP_TRACE(trace_sink(), obs::EventKind::kIrqClaim, trace_src(),
+                  sim_now(), s);
     }
     return s;
   }
@@ -98,7 +105,11 @@ void Plic::write_reg(Addr addr, u32 value) {
     return;
   }
   if (off == kClaimComplete) {
-    if (value < in_flight_.size()) in_flight_[value] = false;
+    if (value < in_flight_.size() && in_flight_[value]) {
+      in_flight_[value] = false;
+      RVCAP_TRACE(trace_sink(), obs::EventKind::kIrqComplete, trace_src(),
+                  sim_now(), value);
+    }
     return;
   }
 }

@@ -1,0 +1,134 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace rvcap::obs {
+namespace {
+
+// 100 MHz core clock: cycles -> microseconds with two fixed decimals.
+void append_us(std::string& out, Cycles cycles) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%02" PRIu64, cycles / 100,
+                cycles % 100);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Observability& o) {
+  const TraceSink& sink = o.sink();
+  std::string out;
+  out.reserve(sink.events().size() * 96 + 4096);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: name every track (pid) and every source (tid) that
+  // appears in the retained window, so Perfetto shows labelled tracks
+  // even for an empty stream's process list.
+  std::set<std::pair<int, int>> seen;  // (pid, tid)
+  for (const TraceEvent& e : sink.events()) {
+    seen.emplace(static_cast<int>(event_track(e.kind)) + 1, e.src + 1);
+  }
+  std::set<int> pids;
+  for (const auto& [pid, tid] : seen) pids.insert(pid);
+  for (int pid : pids) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    append_escaped(out, track_name(static_cast<Track>(pid - 1)));
+    out += "\"}}";
+  }
+  for (const auto& [pid, tid] : seen) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(out, sink.source_name(static_cast<u16>(tid - 1)));
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : sink.events()) {
+    sep();
+    const int pid = static_cast<int>(event_track(e.kind)) + 1;
+    const int tid = e.src + 1;
+    const bool span = duration_in_a2(e.kind) && e.a2 > 0;
+    const Cycles start = span && e.a2 <= e.ts ? e.ts - e.a2 : e.ts;
+    out += "{\"name\":\"";
+    append_escaped(out, event_name(e.kind));
+    out += "\",\"ph\":\"";
+    out += span ? "X" : "i";
+    out += "\",\"ts\":";
+    append_us(out, start);
+    if (span) {
+      out += ",\"dur\":";
+      append_us(out, e.a2);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"a0\":" +
+           std::to_string(e.a0) + ",\"a1\":" + std::to_string(e.a1) +
+           ",\"a2\":" + std::to_string(e.a2) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Observability& o, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string json = chrome_trace_json(o);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+std::string stats_text(const Observability& o) {
+  std::ostringstream out;
+  const CounterRegistry& reg = o.counters();
+  out << "== counters (" << reg.counter_count() << ") ==\n";
+  for (usize i = 0; i < reg.counter_count(); ++i) {
+    out << "  [" << i << "] " << reg.counter_name(i) << " = "
+        << reg.counter_value(i) << "\n";
+  }
+  out << "== histograms (" << reg.histogram_count() << ") ==\n";
+  for (usize i = 0; i < reg.histogram_count(); ++i) {
+    const Histogram& h = reg.histogram_at(i);
+    out << "  " << reg.histogram_name(i) << ": n=" << h.count()
+        << " min=" << h.min() << " mean=" << h.mean()
+        << " p99=" << h.percentile(0.99) << " max=" << h.max() << "\n";
+    if (h.count() != 0) {
+      out << "    buckets:";
+      for (usize b = 0; b < Histogram::kBuckets; ++b) {
+        if (h.bucket(b) == 0) continue;
+        out << " [<=" << Histogram::bucket_bound(b) << "]=" << h.bucket(b);
+      }
+      out << "\n";
+    }
+  }
+  const TraceSink& sink = o.sink();
+  out << "== trace ==\n"
+      << "  enabled=" << (sink.enabled() ? 1 : 0)
+      << " total=" << sink.total_events()
+      << " retained=" << sink.events().size()
+      << " dropped=" << sink.dropped_events() << " digest=0x" << std::hex
+      << sink.digest() << std::dec << "\n";
+  return out.str();
+}
+
+}  // namespace rvcap::obs

@@ -1,0 +1,27 @@
+// Snapshot exporters: Chrome-trace JSON (chrome://tracing / Perfetto)
+// and a flat-text stats dump. Any test or bench can snapshot mid-run;
+// nothing here mutates the Observability it reads.
+#pragma once
+
+#include <string>
+
+#include "obs/observability.hpp"
+
+namespace rvcap::obs {
+
+/// Chrome trace event format: {"traceEvents": [...]}. One Perfetto
+/// "process" per Track (pid = track, named via metadata events), one
+/// "thread" per interned source. Timestamps are microseconds at the
+/// 100 MHz core clock (1 cycle = 0.01 us). Kinds with duration_in_a2()
+/// become complete ("X") spans ending at ts; the rest are instants.
+std::string chrome_trace_json(const Observability& o);
+
+/// Write chrome_trace_json() to a file. Returns false on I/O failure.
+bool write_chrome_trace(const Observability& o, const std::string& path);
+
+/// Human-readable dump: every counter (registration order), every
+/// histogram (count/min/mean/p99/max + sparkline buckets), and the
+/// sink's stream totals.
+std::string stats_text(const Observability& o);
+
+}  // namespace rvcap::obs

@@ -1,24 +1,29 @@
-// Measurement probes: non-intrusive utilization counters over FIFO
-// links.
+// Non-intrusive utilization probe over a Fifo link — the obs/ home of
+// what used to be sim::ThroughputProbe (sim/probe.hpp, removed).
 //
 // A probe watches a Fifo and samples its lifetime pop counter, giving
 // benches link-utilization numbers (e.g. "the ICAP port was busy 99.4%
-// of the transfer") without touching the components themselves. The
-// probe is quiescence-friendly: it only ticks on cycles following link
-// activity (every pop wakes it), and derives the window length from
-// simulation time instead of counting its own ticks — so flat and
-// scheduled kernels report identical numbers.
+// of the transfer") without touching the components themselves. It is
+// quiescence-friendly: it only ticks on cycles following link activity
+// (every pop wakes it) and derives the window length from simulation
+// time instead of counting its own ticks — so flat and scheduled
+// kernels report identical numbers.
+//
+// Header-only on purpose: it needs sim::Component, and rvcap_sim links
+// rvcap_obs — a compiled probe here would invert that edge.
 #pragma once
 
+#include "obs/counters.hpp"
+#include "obs/observability.hpp"
 #include "sim/component.hpp"
 #include "sim/fifo.hpp"
 
-namespace rvcap::sim {
+namespace rvcap::obs {
 
 template <typename T>
-class ThroughputProbe : public Component {
+class LinkProbe : public sim::Component {
  public:
-  ThroughputProbe(std::string name, Fifo<T>& link)
+  LinkProbe(std::string name, sim::Fifo<T>& link)
       : Component(std::move(name)), link_(link),
         last_count_(link.total_popped()) {
     link_.watch(this);
@@ -33,6 +38,16 @@ class ThroughputProbe : public Component {
     }
     // Observational only: never keeps the simulation awake.
     return false;
+  }
+
+  /// Export the window's counters under "<name>.*".
+  void on_register(Observability& o) override {
+    const std::string prefix(name());
+    o.counters().register_fn(prefix + ".transfers",
+                             [this] { return transfers_; });
+    o.counters().register_fn(prefix + ".active_cycles", [this] {
+      return static_cast<u64>(active_cycles_);
+    });
   }
 
   /// Restart the measurement window.
@@ -58,11 +73,11 @@ class ThroughputProbe : public Component {
   }
 
  private:
-  Fifo<T>& link_;
+  sim::Fifo<T>& link_;
   u64 last_count_;
   Cycles window_start_ = 0;
   Cycles active_cycles_ = 0;
   u64 transfers_ = 0;
 };
 
-}  // namespace rvcap::sim
+}  // namespace rvcap::obs

@@ -1,0 +1,24 @@
+// The per-Simulator observability bundle: one TraceSink + one
+// CounterRegistry. Owned by sim::Simulator and handed to every
+// component at registration (Component::on_register) and to driver
+// code via CpuContext::simulator().obs().
+#pragma once
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace rvcap::obs {
+
+class Observability {
+ public:
+  TraceSink& sink() { return sink_; }
+  const TraceSink& sink() const { return sink_; }
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+
+ private:
+  TraceSink sink_;
+  CounterRegistry counters_;
+};
+
+}  // namespace rvcap::obs

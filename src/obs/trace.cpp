@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+namespace rvcap::obs {
+
+std::string_view event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kAxiRead: return "axi_read";
+    case EventKind::kAxiWrite: return "axi_write";
+    case EventKind::kAxisBeat: return "axis_beat";
+    case EventKind::kIcapWord: return "icap_word";
+    case EventKind::kIcapFrame: return "icap_frame";
+    case EventKind::kIcapDesync: return "icap_desync";
+    case EventKind::kIcapReadWord: return "icap_read_word";
+    case EventKind::kDmaMm2sStart: return "dma_mm2s_start";
+    case EventKind::kDmaMm2sDone: return "dma_mm2s_done";
+    case EventKind::kDmaMm2sError: return "dma_mm2s_error";
+    case EventKind::kDmaS2mmStart: return "dma_s2mm_start";
+    case EventKind::kDmaS2mmDone: return "dma_s2mm_done";
+    case EventKind::kSvcSubmit: return "svc_submit";
+    case EventKind::kSvcAdmit: return "svc_admit";
+    case EventKind::kSvcReject: return "svc_reject";
+    case EventKind::kSvcCoalesce: return "svc_coalesce";
+    case EventKind::kSvcShed: return "svc_shed";
+    case EventKind::kSvcCancel: return "svc_cancel";
+    case EventKind::kSvcDeadlineMiss: return "svc_deadline_miss";
+    case EventKind::kSvcDispatch: return "svc_dispatch";
+    case EventKind::kSvcComplete: return "svc_complete";
+    case EventKind::kSvcFail: return "svc_fail";
+    case EventKind::kSvcHang: return "svc_hang";
+    case EventKind::kScrubUpset: return "scrub_upset";
+    case EventKind::kScrubPass: return "scrub_pass";
+    case EventKind::kScrubDetect: return "scrub_detect";
+    case EventKind::kScrubRewrite: return "scrub_rewrite";
+    case EventKind::kScrubReload: return "scrub_reload";
+    case EventKind::kIrqRaise: return "irq_raise";
+    case EventKind::kIrqLower: return "irq_lower";
+    case EventKind::kIrqClaim: return "irq_claim";
+    case EventKind::kIrqComplete: return "irq_complete";
+  }
+  return "?";
+}
+
+Track event_track(EventKind k) {
+  switch (k) {
+    case EventKind::kAxiRead:
+    case EventKind::kAxiWrite:
+      return Track::kBus;
+    case EventKind::kAxisBeat:
+      return Track::kStream;
+    case EventKind::kIcapWord:
+    case EventKind::kIcapFrame:
+    case EventKind::kIcapDesync:
+    case EventKind::kIcapReadWord:
+      return Track::kIcap;
+    case EventKind::kDmaMm2sStart:
+    case EventKind::kDmaMm2sDone:
+    case EventKind::kDmaMm2sError:
+    case EventKind::kDmaS2mmStart:
+    case EventKind::kDmaS2mmDone:
+      return Track::kDma;
+    case EventKind::kSvcSubmit:
+    case EventKind::kSvcAdmit:
+    case EventKind::kSvcReject:
+    case EventKind::kSvcCoalesce:
+    case EventKind::kSvcShed:
+    case EventKind::kSvcCancel:
+    case EventKind::kSvcDeadlineMiss:
+    case EventKind::kSvcDispatch:
+    case EventKind::kSvcComplete:
+    case EventKind::kSvcFail:
+    case EventKind::kSvcHang:
+      return Track::kService;
+    case EventKind::kScrubUpset:
+    case EventKind::kScrubPass:
+    case EventKind::kScrubDetect:
+    case EventKind::kScrubRewrite:
+    case EventKind::kScrubReload:
+      return Track::kScrub;
+    case EventKind::kIrqRaise:
+    case EventKind::kIrqLower:
+    case EventKind::kIrqClaim:
+    case EventKind::kIrqComplete:
+      return Track::kIrq;
+  }
+  return Track::kBus;
+}
+
+std::string_view track_name(Track t) {
+  switch (t) {
+    case Track::kBus: return "AXI Bus";
+    case Track::kStream: return "AXI-Stream";
+    case Track::kIcap: return "ICAP";
+    case Track::kDma: return "DMA";
+    case Track::kService: return "ReconfigService";
+    case Track::kScrub: return "Scrub";
+    case Track::kIrq: return "IRQ";
+  }
+  return "?";
+}
+
+bool duration_in_a2(EventKind k) {
+  switch (k) {
+    case EventKind::kAxiRead:
+    case EventKind::kAxiWrite:
+    case EventKind::kDmaMm2sDone:
+    case EventKind::kDmaS2mmDone:
+    case EventKind::kScrubPass:
+      return true;
+    case EventKind::kAxisBeat:
+    case EventKind::kIcapWord:
+    case EventKind::kIcapFrame:
+    case EventKind::kIcapDesync:
+    case EventKind::kIcapReadWord:
+    case EventKind::kDmaMm2sStart:
+    case EventKind::kDmaMm2sError:
+    case EventKind::kDmaS2mmStart:
+    case EventKind::kSvcSubmit:
+    case EventKind::kSvcAdmit:
+    case EventKind::kSvcReject:
+    case EventKind::kSvcCoalesce:
+    case EventKind::kSvcShed:
+    case EventKind::kSvcCancel:
+    case EventKind::kSvcDeadlineMiss:
+    case EventKind::kSvcDispatch:
+    case EventKind::kSvcComplete:
+    case EventKind::kSvcFail:
+    case EventKind::kSvcHang:
+    case EventKind::kScrubUpset:
+    case EventKind::kScrubDetect:
+    case EventKind::kScrubRewrite:
+    case EventKind::kScrubReload:
+    case EventKind::kIrqRaise:
+    case EventKind::kIrqLower:
+    case EventKind::kIrqClaim:
+    case EventKind::kIrqComplete:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace rvcap::obs

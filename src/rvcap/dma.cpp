@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "obs/observability.hpp"
 
 namespace rvcap::rvcap_ctrl {
 
@@ -12,6 +13,22 @@ AxiDma::AxiDma(std::string name, const Config& cfg)
   mem_.watch(this);
   mm2s_out_.watch(this);
   s2mm_in_.watch(this);
+}
+
+void AxiDma::on_register(obs::Observability& o) {
+  const std::string prefix(name());
+  obs::CounterRegistry& c = o.counters();
+  c.register_fn(prefix + ".mm2s_bytes", [this] { return mm2s_bytes_total_; });
+  c.register_fn(prefix + ".s2mm_bytes", [this] { return s2mm_bytes_total_; });
+  c.register_fn(prefix + ".mm2s_jobs", [this] { return mm2s_done_count_; });
+  c.register_fn(prefix + ".mm2s_out_hwm", [this] {
+    return static_cast<u64>(mm2s_out_.high_water());
+  });
+  c.register_fn(prefix + ".s2mm_in_hwm", [this] {
+    return static_cast<u64>(s2mm_in_.high_water());
+  });
+  mm2s_latency_ = c.histogram(prefix + ".mm2s_job_cycles");
+  s2mm_latency_ = c.histogram(prefix + ".s2mm_job_cycles");
 }
 
 u32 AxiDma::read_reg(Addr addr) {
@@ -66,6 +83,10 @@ void AxiDma::write_reg(Addr addr, u32 value) {
       if ((mm2s_cr_ & kCrRunStop) && bytes > 0 && !mm2s_job_.has_value()) {
         const u64 beats = (bytes + 7) / 8;
         mm2s_job_ = Mm2sJob{mm2s_sa_, bytes, beats};
+        mm2s_job_bytes_ = bytes;
+        mm2s_start_cycle_ = sim_now();
+        RVCAP_TRACE(trace_sink(), obs::EventKind::kDmaMm2sStart, trace_src(),
+                    sim_now(), mm2s_sa_, bytes);
         mm2s_sr_ &= ~kSrIdle;
         mm2s_beats_streamed_ = 0;
         mm2s_fault_beat_ = 0;
@@ -115,6 +136,10 @@ void AxiDma::write_reg(Addr addr, u32 value) {
       const u64 bytes = value & 0x03FFFFFF;
       if ((s2mm_cr_ & kCrRunStop) && bytes > 0 && !s2mm_job_.has_value()) {
         s2mm_job_ = S2mmJob{s2mm_da_, bytes};
+        s2mm_job_bytes_ = bytes;
+        s2mm_start_cycle_ = sim_now();
+        RVCAP_TRACE(trace_sink(), obs::EventKind::kDmaS2mmStart, trace_src(),
+                    sim_now(), s2mm_da_, bytes);
         s2mm_sr_ &= ~kSrIdle;
       } else {
         log_warn("dma: S2MM length write ignored (halted or busy)");
@@ -177,6 +202,8 @@ bool AxiDma::tick_mm2s() {
       mm2s_fault_beat_ = 0;
       mm2s_cr_ &= ~kCrRunStop;
       mm2s_sr_ |= kSrDmaSlvErr | kSrErrIrq | kSrHalted;
+      RVCAP_TRACE(trace_sink(), obs::EventKind::kDmaMm2sError, trace_src(),
+                  sim_now(), mm2s_sr_);
       return true;
     }
     const bool early = (mm2s_early_ioc_beat_ != 0 &&
@@ -190,6 +217,11 @@ bool AxiDma::tick_mm2s() {
       mm2s_early_ioc_beat_ = 0;
       mm2s_sr_ |= kSrIdle | kSrIocIrq;
       ++mm2s_done_count_;
+      mm2s_bytes_total_ += mm2s_job_bytes_;
+      const Cycles lat = sim_now() - mm2s_start_cycle_;
+      if (mm2s_latency_ != nullptr) mm2s_latency_->record(lat);
+      RVCAP_TRACE(trace_sink(), obs::EventKind::kDmaMm2sDone, trace_src(),
+                  sim_now(), mm2s_job_bytes_, mm2s_beats_streamed_, lat);
     }
     progress = true;
   }
@@ -236,6 +268,11 @@ bool AxiDma::tick_s2mm() {
   if (j.bytes_left == 0 && s2mm_buf_.empty() && j.bursts_in_flight == 0) {
     s2mm_job_.reset();
     s2mm_sr_ |= kSrIdle | kSrIocIrq;
+    s2mm_bytes_total_ += s2mm_job_bytes_;
+    const Cycles lat = sim_now() - s2mm_start_cycle_;
+    if (s2mm_latency_ != nullptr) s2mm_latency_->record(lat);
+    RVCAP_TRACE(trace_sink(), obs::EventKind::kDmaS2mmDone, trace_src(),
+                sim_now(), s2mm_job_bytes_, 0, lat);
     progress = true;
   }
   return progress;

@@ -13,6 +13,7 @@
 
 #include "axi/lite_slave.hpp"
 #include "irq/plic.hpp"
+#include "obs/counters.hpp"
 #include "sim/fault_injector.hpp"
 
 namespace rvcap::rvcap_ctrl {
@@ -74,6 +75,8 @@ class AxiDma : public axi::AxiLiteSlave {
   bool s2mm_idle() const { return !s2mm_job_.has_value(); }
   u64 mm2s_transfers() const { return mm2s_done_count_; }
 
+  void on_register(obs::Observability& o) override;
+
  protected:
   u32 read_reg(Addr addr) override;
   void write_reg(Addr addr, u32 value) override;
@@ -107,6 +110,9 @@ class AxiDma : public axi::AxiLiteSlave {
   u32 mm2s_sr_ = kSrHalted;
   u64 mm2s_sa_ = 0;
   std::optional<Mm2sJob> mm2s_job_;
+  u64 mm2s_job_bytes_ = 0;        // descriptor size, for the done event
+  Cycles mm2s_start_cycle_ = 0;
+  u64 mm2s_bytes_total_ = 0;      // lifetime bytes moved (obs counter)
   u32 mm2s_bursts_outstanding_ = 0;
   u64 mm2s_done_count_ = 0;
   u64 mm2s_beats_streamed_ = 0;   // beats moved for the current job
@@ -120,10 +126,15 @@ class AxiDma : public axi::AxiLiteSlave {
   u64 s2mm_da_ = 0;
   std::optional<S2mmJob> s2mm_job_;
   std::vector<axi::AxisBeat> s2mm_buf_;
+  u64 s2mm_job_bytes_ = 0;
+  Cycles s2mm_start_cycle_ = 0;
+  u64 s2mm_bytes_total_ = 0;
 
   irq::IrqLine mm2s_irq_;
   irq::IrqLine s2mm_irq_;
   sim::FaultInjector* fault_ = nullptr;
+  obs::Histogram* mm2s_latency_ = nullptr;  // job cycles, per descriptor
+  obs::Histogram* s2mm_latency_ = nullptr;
 };
 
 }  // namespace rvcap::rvcap_ctrl

@@ -23,6 +23,11 @@
 
 #include "common/types.hpp"
 
+namespace rvcap::obs {
+class Observability;
+class TraceSink;
+}  // namespace rvcap::obs
+
 namespace rvcap::sim {
 
 class Component;
@@ -141,6 +146,20 @@ class Component {
   /// registration with a Simulator.
   Cycles sim_now() const { return now_ptr_ != nullptr ? *now_ptr_ : 0; }
 
+  /// Observability hook, called once from Simulator::add(). Override
+  /// to register counters/histograms and cache histogram handles.
+  /// Trace emission does NOT require overriding this: trace_sink() and
+  /// trace_src() are wired by add() itself.
+  virtual void on_register(obs::Observability& o) { (void)o; }
+
+ protected:
+  /// The simulator's event sink (nullptr before registration) and this
+  /// component's interned source id — the two arguments RVCAP_TRACE
+  /// call sites pass.
+  obs::TraceSink* trace_sink() const { return trace_sink_; }
+  u16 trace_src() const { return trace_src_; }
+  obs::Observability* observability() const { return obs_; }
+
  private:
   friend class Simulator;
 
@@ -148,6 +167,9 @@ class Component {
   KernelHooks* hooks_ = nullptr;    // set by Simulator::add()
   const Cycles* now_ptr_ = nullptr;
   Simulator* sim_ = nullptr;
+  obs::Observability* obs_ = nullptr;
+  obs::TraceSink* trace_sink_ = nullptr;
+  u16 trace_src_ = 0;
   u32 slot_ = 0;
   bool sleeping_busy_ = false;
 };

@@ -49,6 +49,7 @@ class Fifo {
     if (full()) return false;
     q_.push_back(std::move(v));
     ++pushed_;
+    if (q_.size() > hwm_) hwm_ = q_.size();
     watchers_.notify();
     return true;
   }
@@ -76,9 +77,11 @@ class Fifo {
     watchers_.notify();
   }
 
-  /// Lifetime counters (used by tests and throughput probes).
+  /// Lifetime counters (used by tests and link probes).
   u64 total_pushed() const { return pushed_; }
   u64 total_popped() const { return popped_; }
+  /// Deepest occupancy ever reached (obs/ high-water counters).
+  usize high_water() const { return hwm_; }
 
  private:
   usize capacity_;
@@ -86,6 +89,7 @@ class Fifo {
   WakeList watchers_;
   u64 pushed_ = 0;
   u64 popped_ = 0;
+  usize hwm_ = 0;
 };
 
 }  // namespace rvcap::sim

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "sim/component.hpp"
 
 namespace rvcap::sim {
@@ -42,7 +43,20 @@ class Simulator {
     kScheduled,  // activity-scheduled kernel (default)
   };
 
-  explicit Simulator(Mode mode = Mode::kScheduled) : mode_(mode) {}
+  explicit Simulator(Mode mode = Mode::kScheduled) : mode_(mode) {
+    // The kernel's own work-avoidance counters live at stable indices
+    // 0..4 of every registry (no SoC component registers earlier).
+    obs_.counters().register_fn("sim.ticks_issued",
+                                [this] { return stats_.ticks_issued; });
+    obs_.counters().register_fn("sim.ticks_skipped",
+                                [this] { return stats_.ticks_skipped; });
+    obs_.counters().register_fn("sim.wakeups",
+                                [this] { return hooks_.wakeups; });
+    obs_.counters().register_fn("sim.time_skip_jumps",
+                                [this] { return stats_.time_skip_jumps; });
+    obs_.counters().register_fn("sim.cycles_skipped",
+                                [this] { return stats_.cycles_skipped; });
+  }
 
   /// Register a component. The simulator does NOT own components; the
   /// SoC assembly owns them and registers in dataflow order. Newly
@@ -53,10 +67,18 @@ class Simulator {
     c->sim_ = this;
     c->slot_ = static_cast<u32>(components_.size());
     c->sleeping_busy_ = false;
+    c->obs_ = &obs_;
+    c->trace_sink_ = &obs_.sink();
+    c->trace_src_ = obs_.sink().intern(c->name_);
     components_.push_back(c);
     hooks_.active.resize(components_.size());
     hooks_.active.set(c->slot_);
+    c->on_register(obs_);
   }
+
+  /// The per-simulation observability bundle (trace sink + counters).
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
   /// Current simulation time in core-clock cycles.
   Cycles now() const { return now_; }
@@ -254,6 +276,7 @@ class Simulator {
   }
 
   std::vector<Component*> components_;
+  obs::Observability obs_;
   KernelHooks hooks_;
   std::priority_queue<Wake, std::vector<Wake>, std::greater<Wake>> wheel_;
   SimStats stats_;

@@ -18,6 +18,7 @@ ArianeSoc::ArianeSoc(const SocConfig& cfg)
       plic_("plic", IrqMap::kNumSources),
       uart_("uart"),
       service_regs_("service_regs"),
+      perf_regs_("perf_regs"),
       sd_(cfg.sd_blocks),
       spi_("spi", sd_, cfg.spi_clock_divider),
       cpu_(sim_, cfg.timing),
@@ -38,6 +39,8 @@ ArianeSoc::ArianeSoc(const SocConfig& cfg)
   periph_bus_.add_device(MemoryMap::kUart, &uart_.port());
   periph_bus_.add_device(MemoryMap::kSpi, &spi_.port());
   periph_bus_.add_device(MemoryMap::kServiceRegs, &service_regs_.port());
+  perf_regs_.bind(&sim_.obs().counters());
+  periph_bus_.add_device(MemoryMap::kPerfRegs, &perf_regs_.port());
   main_xbar_.add_subordinate(MemoryMap::kPeripherals,
                              &periph_conv_.upstream());
   main_xbar_.add_subordinate(MemoryMap::kBootMem, &boot_.port());
@@ -101,6 +104,7 @@ ArianeSoc::ArianeSoc(const SocConfig& cfg)
   sim_.add(&plic_);
   sim_.add(&uart_);
   sim_.add(&service_regs_);
+  sim_.add(&perf_regs_);
   sim_.add(&spi_);
   sim_.add(&boot_);
   if (rvcap_) rvcap_->register_components(sim_);

@@ -31,6 +31,7 @@
 #include "rvcap/controller.hpp"
 #include "sim/simulator.hpp"
 #include "soc/memory_map.hpp"
+#include "soc/perf_regs.hpp"
 #include "soc/service_regs.hpp"
 #include "soc/uart.hpp"
 #include "storage/sd_card.hpp"
@@ -79,6 +80,7 @@ class ArianeSoc {
   irq::Plic& plic() { return plic_; }
   Uart& uart() { return uart_; }
   ServiceRegs& service_regs() { return service_regs_; }
+  PerfRegs& perf_regs() { return perf_regs_; }
 
   /// The case-study partition (RP0) and its tracking handle.
   const fabric::Partition& rp0() const { return rp0_; }
@@ -122,6 +124,7 @@ class ArianeSoc {
   irq::Plic plic_;
   Uart uart_;
   ServiceRegs service_regs_;
+  PerfRegs perf_regs_;
   storage::SdCard sd_;
   storage::SpiController spi_;
 

@@ -16,6 +16,8 @@ struct MemoryMap {
   static constexpr axi::AddrRange kSpi{0x2000'0000, 0x1000};
   /// Reconfiguration-service telemetry register file.
   static constexpr axi::AddrRange kServiceRegs{0x2100'0000, 0x1000};
+  /// Performance-counter window (obs::CounterRegistry via MMIO).
+  static constexpr axi::AddrRange kPerfRegs{0x2200'0000, 0x1000};
   /// AXI_HWICAP window (vendor-controller deployment, §III-C).
   static constexpr axi::AddrRange kHwicap{0x4000'0000, 0x1000};
   /// RV-CAP controller: DMA control + RP control interfaces.

@@ -4,7 +4,7 @@
 
 #include "cpu/cpu.hpp"
 #include "mem/sram.hpp"
-#include "sim/probe.hpp"
+#include "obs/link_probe.hpp"
 #include "sim/simulator.hpp"
 #include "soc/ariane_soc.hpp"
 #include "testutil.hpp"
@@ -137,7 +137,7 @@ TEST(CpuIrqPath, WaitForIrqTimesOut) {
 TEST(ProbeTest, MeasuresLinkUtilization) {
   sim::Simulator s;
   sim::Fifo<int> link(4);
-  sim::ThroughputProbe<int> probe("p", link);
+  obs::LinkProbe<int> probe("p", link);
   s.add(&probe);
   // 10 cycles: transfer on even cycles only.
   for (int c = 0; c < 10; ++c) {

@@ -22,6 +22,7 @@
 #include "driver/scrub_service.hpp"
 #include "driver/scrubber.hpp"
 #include "fabric/seu_process.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "soc/ariane_soc.hpp"
 
@@ -378,6 +379,69 @@ TEST(KernelEquivalence, SeuScrubRepairHistoryIdentical) {
   EXPECT_EQ(flat.mttd_total, sched.mttd_total);
   EXPECT_EQ(flat.mttr_total, sched.mttr_total);
   EXPECT_EQ(flat.upset_queries, sched.upset_queries);
+}
+
+// ---------------------------------------------------------------------
+// Trace-stream equivalence: the observability layer sees one history
+// ---------------------------------------------------------------------
+
+/// Full event stream of a traced reconfiguration: wrap-proof digest,
+/// lifetime count, and the retained ring for entry-level diffing.
+struct TraceOutcome {
+  u64 digest = 0;
+  u64 total = 0;
+  std::vector<obs::TraceEvent> events;
+  std::vector<std::string> sources;
+};
+
+TraceOutcome run_traced_rvcap(Simulator::Mode mode, DmaMode dma_mode) {
+  SocConfig cfg;
+  cfg.sim_mode = mode;
+  ArianeSoc soc(cfg);
+  soc.sim().obs().sink().set_enabled(true);
+  driver::RvCapDriver drv(soc.cpu(), soc.plic());
+  const auto pbit = bitstream::generate_partial_bitstream(
+      soc.device(), soc.rp0(), {accel::kRmIdSobel, "sobel"});
+  const Addr staging = soc::MemoryMap::kPbitStagingBase;
+  soc.ddr().poke(staging, pbit);
+  driver::ReconfigModule m{"", accel::kRmIdSobel, staging,
+                           static_cast<u32>(pbit.size())};
+  EXPECT_TRUE(ok(drv.init_reconfig_process(m, dma_mode)));
+  const obs::TraceSink& sink = soc.sim().obs().sink();
+  TraceOutcome o;
+  o.digest = sink.digest();
+  o.total = sink.total_events();
+  o.events.assign(sink.events().begin(), sink.events().end());
+  o.sources = sink.sources();
+  return o;
+}
+
+TEST(KernelEquivalence, TraceStreamIdentical) {
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "built with RVCAP_NO_TRACE";
+  for (const auto dma_mode : {DmaMode::kInterrupt, DmaMode::kBlocking}) {
+    const TraceOutcome flat =
+        run_traced_rvcap(Simulator::Mode::kFlat, dma_mode);
+    const TraceOutcome sched =
+        run_traced_rvcap(Simulator::Mode::kScheduled, dma_mode);
+
+    // A reconfiguration is trace-dense: far more events than the ring
+    // retains, so the digest (not the ring) is the real equivalence
+    // check. The ring suffix is diffed too for a readable failure.
+    EXPECT_GT(flat.total, 0u);
+    EXPECT_EQ(flat.sources, sched.sources);
+    EXPECT_EQ(flat.total, sched.total);
+    ASSERT_EQ(flat.events.size(), sched.events.size());
+    for (usize i = 0; i < flat.events.size(); ++i) {
+      const obs::TraceEvent& a = flat.events[i];
+      const obs::TraceEvent& b = sched.events[i];
+      ASSERT_TRUE(a.ts == b.ts && a.kind == b.kind && a.src == b.src &&
+                  a.a0 == b.a0 && a.a1 == b.a1 && a.a2 == b.a2)
+          << "ring entry " << i << ": flat {ts=" << a.ts << ", "
+          << obs::event_name(a.kind) << "} vs sched {ts=" << b.ts << ", "
+          << obs::event_name(b.kind) << "}";
+    }
+    EXPECT_EQ(flat.digest, sched.digest);
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -28,10 +28,12 @@
 #include "driver/scrubber.hpp"
 #include "fabric/frame_ecc.hpp"
 #include "fabric/seu_process.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "soc/ariane_soc.hpp"
 #include "soc/memory_map.hpp"
 #include "soc/service_regs.hpp"
+#include "testutil.hpp"
 
 namespace rvcap {
 namespace {
@@ -382,6 +384,8 @@ TEST_F(ScrubFixture, CleanPassFindsNothingAndRaisesDoneIrq) {
 TEST_F(ScrubFixture, SingleBitUpsetRepairedByOneFrameRewrite) {
   activate("sobel");
   const u64 reconfigs = mgr.stats().reconfigurations;
+  soc.sim().obs().sink().set_capacity(usize{1} << 19);
+  soc.sim().obs().sink().set_enabled(true);
   ASSERT_TRUE(mem().inject_upset(rp_addrs()[7], 3, 3));
   EXPECT_EQ(scrub.pending_upsets(), 1u);
 
@@ -413,6 +417,42 @@ TEST_F(ScrubFixture, SingleBitUpsetRepairedByOneFrameRewrite) {
   EXPECT_EQ(j.action, static_cast<u8>(ScrubService::Action::kRewrite));
   EXPECT_EQ(j.word, 3u);
   EXPECT_EQ(j.bit, 3u);
+
+  // The trace stream tells the whole detect -> repair causality chain
+  // with the localized coordinates in the payloads.
+  if (obs::trace_compiled_in()) {
+    const obs::TraceSink& sink = soc.sim().obs().sink();
+    const u32 far = rp_addrs()[7].encode();
+    const obs::TraceEvent* upset = test::expect_event(
+        sink, obs::EventKind::kScrubUpset, "scrub_service");
+    ASSERT_NE(upset, nullptr);
+    EXPECT_EQ(upset->a0, far);
+    EXPECT_EQ(upset->a1, (u64{3} << 8) | 3);
+    const obs::TraceEvent* detect = test::expect_event(
+        sink, obs::EventKind::kScrubDetect, "scrub_service");
+    ASSERT_NE(detect, nullptr);
+    EXPECT_EQ(detect->a0, far);
+    EXPECT_EQ(detect->a1, static_cast<u64>(EccClass::kCorrectable));
+    const obs::TraceEvent* rewrite = test::expect_event(
+        sink, obs::EventKind::kScrubRewrite, "scrub_service");
+    ASSERT_NE(rewrite, nullptr);
+    EXPECT_EQ(rewrite->a0, far);
+    test::expect_ordered(sink, obs::EventKind::kScrubUpset,
+                         obs::EventKind::kScrubDetect);
+    test::expect_ordered(sink, obs::EventKind::kScrubDetect,
+                         obs::EventKind::kScrubRewrite);
+    EXPECT_EQ(test::count_events(sink, obs::EventKind::kScrubReload), 0u);
+    // MTTD/MTTR histograms recorded the ground-truth latencies.
+    const obs::CounterRegistry& reg = soc.sim().obs().counters();
+    for (usize i = 0; i < reg.histogram_count(); ++i) {
+      if (reg.histogram_name(i) == "scrub.mttd_cycles" ||
+          reg.histogram_name(i) == "scrub.mttr_cycles") {
+        EXPECT_EQ(reg.histogram_at(i).count(), 1u)
+            << reg.histogram_name(i);
+        EXPECT_GT(reg.histogram_at(i).max(), 0u) << reg.histogram_name(i);
+      }
+    }
+  }
 }
 
 TEST_F(ScrubFixture, MultiBitDamageEscalatesToPartitionReload) {

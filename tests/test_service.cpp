@@ -25,10 +25,12 @@
 #include "driver/hwicap_driver.hpp"
 #include "driver/reconfig_service.hpp"
 #include "driver/scrubber.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "soc/ariane_soc.hpp"
 #include "soc/memory_map.hpp"
 #include "soc/service_regs.hpp"
+#include "testutil.hpp"
 
 namespace rvcap {
 namespace {
@@ -327,6 +329,11 @@ TEST_F(ServiceFixture, WatchdogDetectsWedgedDmaAndQueueSurvives) {
   cfg.watchdog_interval_ticks = 50;
   cfg.watchdog_stall_polls = 4;
   ReconfigService svc(mgr, cfg);
+  // Hung attempt + recovery (blank + retry) + a second full
+  // reconfiguration emit ~1.3M events; retain them all so the early
+  // hang record survives for the trace assertions below.
+  soc.sim().obs().sink().set_capacity(usize{1} << 21);
+  soc.sim().obs().sink().set_enabled(true);
 
   fi.arm(sites::kDmaMm2sStall, /*count=*/1);
   ReconfigService::RequestId hung = 0, next = 0;
@@ -361,6 +368,24 @@ TEST_F(ServiceFixture, WatchdogDetectsWedgedDmaAndQueueSurvives) {
   EXPECT_EQ(svc.record(hung)->state, State::kCompleted);
   EXPECT_EQ(svc.record(next)->state, State::kCompleted);
   EXPECT_EQ(mgr.active_module(), "median");
+
+  // The same story told by the trace stream: the hang event carries
+  // the diagnosis payload, and no request completes before dispatch.
+  if (obs::trace_compiled_in()) {
+    const obs::TraceSink& sink = soc.sim().obs().sink();
+    const obs::TraceEvent* hang = test::expect_event(
+        sink, obs::EventKind::kSvcHang, "reconfig_service");
+    ASSERT_NE(hang, nullptr);
+    EXPECT_EQ(hang->a0, hung);
+    EXPECT_EQ(hang->a1, d.outstanding_beats);
+    EXPECT_EQ(hang->a2, cfg.watchdog_stall_polls);
+    EXPECT_EQ(test::count_events(sink, obs::EventKind::kSvcAdmit), 2u);
+    EXPECT_EQ(test::count_events(sink, obs::EventKind::kSvcComplete), 2u);
+    test::expect_ordered(sink, obs::EventKind::kSvcAdmit,
+                         obs::EventKind::kSvcHang);
+    test::expect_ordered(sink, obs::EventKind::kSvcHang,
+                         obs::EventKind::kSvcComplete);
+  }
 }
 
 TEST_F(ServiceFixture, WatchdogFiresWellBeforeIterationTimeout) {

@@ -1,17 +1,20 @@
 // Shared test helpers: a bus-functional manager for driving AxiPort /
-// AxiLitePort links cycle-accurately from tests, and a scriptable
-// register device.
+// AxiLitePort links cycle-accurately from tests, a scriptable register
+// device, and assertion helpers over the obs:: trace stream.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "axi/lite_slave.hpp"
 #include "axi/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace rvcap::test {
@@ -87,5 +90,79 @@ class ScratchRegs : public axi::AxiLiteSlave {
     write_log.emplace_back(addr, value);
   }
 };
+
+// ---- trace-stream assertion helpers (obs::TraceSink) ----
+//
+// These read the retained ring only, so tests using them should size
+// the sink (or keep runs short) such that the events they assert on
+// are not evicted. All helpers are RVCAP_NO_TRACE-safe: with tracing
+// compiled out no events are ever emitted, so guard tests with
+//   if (!obs::trace_compiled_in()) GTEST_SKIP();
+
+/// All retained events of one kind, optionally restricted to a source.
+inline std::vector<obs::TraceEvent> events_of(const obs::TraceSink& sink,
+                                              obs::EventKind kind,
+                                              std::string_view src = {}) {
+  std::vector<obs::TraceEvent> out;
+  for (const obs::TraceEvent& e : sink.events()) {
+    if (e.kind != kind) continue;
+    if (!src.empty() && sink.source_name(e.src) != src) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+/// Retained events with ts in [from, to] (inclusive), oldest first.
+inline std::vector<obs::TraceEvent> events_between(const obs::TraceSink& sink,
+                                                   Cycles from, Cycles to) {
+  std::vector<obs::TraceEvent> out;
+  for (const obs::TraceEvent& e : sink.events()) {
+    if (e.ts >= from && e.ts <= to) out.push_back(e);
+  }
+  return out;
+}
+
+/// Count of retained events of one kind.
+inline usize count_events(const obs::TraceSink& sink, obs::EventKind kind,
+                          std::string_view src = {}) {
+  return events_of(sink, kind, src).size();
+}
+
+/// EXPECT that at least one event of `kind` was retained; returns a
+/// pointer to the first match (nullptr on failure) so callers can
+/// assert on its payload.
+inline const obs::TraceEvent* expect_event(const obs::TraceSink& sink,
+                                           obs::EventKind kind,
+                                           std::string_view src = {}) {
+  for (const obs::TraceEvent& e : sink.events()) {
+    if (e.kind != kind) continue;
+    if (!src.empty() && sink.source_name(e.src) != src) continue;
+    return &e;
+  }
+  ADD_FAILURE() << "no retained trace event of kind '"
+                << obs::event_name(kind) << "'"
+                << (src.empty() ? "" : " from source '")
+                << (src.empty() ? "" : std::string(src) + "'");
+  return nullptr;
+}
+
+/// EXPECT that every `before` event precedes every `after` event in
+/// emission order (causality: e.g. all kSvcDispatch before kSvcHang).
+inline void expect_ordered(const obs::TraceSink& sink, obs::EventKind before,
+                           obs::EventKind after) {
+  bool saw_after = false;
+  usize idx = 0;
+  for (const obs::TraceEvent& e : sink.events()) {
+    if (e.kind == after) saw_after = true;
+    if (e.kind == before && saw_after) {
+      ADD_FAILURE() << "trace ordering violated: '"
+                    << obs::event_name(before) << "' at ring index " << idx
+                    << " appears after an '" << obs::event_name(after)
+                    << "'";
+      return;
+    }
+    ++idx;
+  }
+}
 
 }  // namespace rvcap::test

@@ -1,0 +1,341 @@
+// trace-lint: structural validator for the Chrome-trace JSON emitted by
+// obs::write_chrome_trace (see tools/trace_schema.json for the contract).
+//
+//   trace-lint <trace.json>
+//
+// Exits 0 when the file is well-formed JSON and satisfies the schema:
+// a top-level "traceEvents" array whose entries carry ph/name/pid/tid,
+// spans ("X") carry ts+dur, instants ("i") carry ts, and the ICAP, DMA
+// and ReconfigService-or-IRQ tracks are all present. Exits 1 with a
+// diagnostic otherwise. Self-contained on purpose: CI runs it against
+// `bench_micro --trace` output with no JSON library in the image.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+// Minimal recursive-descent JSON parser. Accepts strict JSON; the
+// error message carries the byte offset of the first violation.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!value(out)) {
+      error = error_ + " at byte " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing data at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word, JsonValue& out, JsonValue v) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return fail("bad literal");
+      }
+    }
+    out = std::move(v);
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            out += text_.substr(pos_, 4);  // lint cares about shape only
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    try {
+      out.v = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("unparsable number");
+    }
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        std::string s;
+        if (!string(s)) return false;
+        out.v = std::move(s);
+        return true;
+      }
+      case 't': return literal("true", out, JsonValue{true});
+      case 'f': return literal("false", out, JsonValue{false});
+      case 'n': return literal("null", out, JsonValue{nullptr});
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    consume('{');
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) {
+      out.v = std::move(obj);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue val;
+      if (!value(val)) return false;
+      obj.emplace(std::move(key), std::move(val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    out.v = std::move(obj);
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    consume('[');
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) {
+      out.v = std::move(arr);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue val;
+      if (!value(val)) return false;
+      arr.push_back(std::move(val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    out.v = std::move(arr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+int complain(std::size_t index, const char* why) {
+  std::fprintf(stderr, "trace-lint: event %zu: %s\n", index, why);
+  return 1;
+}
+
+const JsonValue* field(const JsonObject& o, const char* key) {
+  auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace-lint <trace.json>\n");
+    return 2;
+  }
+  std::ifstream f(argv[1], std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "trace-lint: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue root;
+  std::string error;
+  if (!Parser(text).parse(root, error)) {
+    std::fprintf(stderr, "trace-lint: %s: invalid JSON: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "trace-lint: top level is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = field(root.object(), "traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace-lint: missing \"traceEvents\" array\n");
+    return 1;
+  }
+
+  std::set<std::string> tracks;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::size_t index = 0;
+  for (const JsonValue& ev : events->array()) {
+    ++index;
+    if (!ev.is_object()) return complain(index, "not an object");
+    const JsonObject& o = ev.object();
+    const JsonValue* ph = field(o, "ph");
+    const JsonValue* name = field(o, "name");
+    const JsonValue* pid = field(o, "pid");
+    const JsonValue* tid = field(o, "tid");
+    if (ph == nullptr || !ph->is_string()) {
+      return complain(index, "missing string \"ph\"");
+    }
+    if (name == nullptr || !name->is_string()) {
+      return complain(index, "missing string \"name\"");
+    }
+    if (pid == nullptr || !pid->is_number() || pid->number() < 1) {
+      return complain(index, "missing positive \"pid\"");
+    }
+    if (tid == nullptr || !tid->is_number() || tid->number() < 0) {
+      return complain(index, "missing \"tid\"");
+    }
+    const std::string& phase = ph->string();
+    if (phase == "M") {
+      if (name->string() == "process_name") {
+        const JsonValue* args = field(o, "args");
+        if (args == nullptr || !args->is_object()) {
+          return complain(index, "process_name metadata without args");
+        }
+        const JsonValue* track = field(args->object(), "name");
+        if (track == nullptr || !track->is_string()) {
+          return complain(index, "process_name args without name");
+        }
+        tracks.insert(track->string());
+      }
+      continue;
+    }
+    const JsonValue* ts = field(o, "ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return complain(index, "event without numeric \"ts\"");
+    }
+    if (phase == "X") {
+      const JsonValue* dur = field(o, "dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return complain(index, "span without numeric \"dur\"");
+      }
+      ++spans;
+    } else if (phase == "i") {
+      ++instants;
+    } else {
+      return complain(index, "unknown phase (expected M, X or i)");
+    }
+  }
+
+  int failures = 0;
+  auto require_track = [&](const char* a, const char* b) {
+    if (tracks.count(a) != 0) return;
+    if (b != nullptr && tracks.count(b) != 0) return;
+    std::fprintf(stderr, "trace-lint: required track \"%s\"%s%s%s absent\n",
+                 a, b != nullptr ? " (or \"" : "", b != nullptr ? b : "",
+                 b != nullptr ? "\")" : "");
+    ++failures;
+  };
+  require_track("ICAP", nullptr);
+  require_track("DMA", nullptr);
+  require_track("ReconfigService", "IRQ");
+  if (spans == 0) {
+    std::fprintf(stderr, "trace-lint: no \"X\" duration spans\n");
+    ++failures;
+  }
+  if (instants == 0) {
+    std::fprintf(stderr, "trace-lint: no \"i\" instant events\n");
+    ++failures;
+  }
+  if (failures != 0) return 1;
+
+  std::printf("trace-lint: %s OK (%zu events, %zu spans, %zu instants, "
+              "%zu tracks)\n",
+              argv[1], events->array().size(), spans, instants,
+              tracks.size());
+  return 0;
+}
