@@ -1,0 +1,89 @@
+// Shared bounded-retry policy with exponential backoff and jitter.
+//
+// Two very different call sites need the same discipline: the SPI-SD
+// driver re-reading a block after a transient token/CRC fault, and the
+// network fetcher re-requesting a chunk after a drop or corruption.
+// Both want a budgeted attempt loop whose *decision* to keep trying is
+// separate from *how long* to wait before the next try. RetryPolicy is
+// the immutable knob set; RetrySchedule is the per-operation cursor.
+//
+// Backoff is the classic capped exponential: attempt n (n >= 2) waits
+// base << (n - 2) cycles, clamped to `cap`, plus uniform jitter drawn
+// from a SplitMix64 seeded by the caller. A base of 0 keeps today's
+// tight-loop SD behaviour (retry immediately); jitter is expressed in
+// permille of the computed delay so policies stay integer-only. All
+// randomness comes from the caller-provided seed, so a retry schedule
+// is exactly reproducible — the same determinism contract as
+// sim::FaultInjector.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rvcap {
+
+struct RetryPolicy {
+  u32 max_attempts = 3;    // total tries including the first; 0 = none
+  u64 backoff_base = 0;    // delay before attempt 2, in cycles
+  u64 backoff_cap = 0;     // clamp for the exponential; 0 = no clamp
+  u32 jitter_permille = 0; // extra uniform delay in [0, d*j/1000]
+};
+
+/// One operation's walk through a RetryPolicy. Usage:
+///
+///   RetrySchedule sched(policy, seed);
+///   while (sched.next()) {
+///     spend(sched.delay());           // 0 before the first attempt
+///     if (try_once() == Status::kOk) break;
+///   }
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy, u64 seed = 0)
+      : policy_(policy), rng_(seed) {}
+
+  /// Advance to the next attempt. Returns false once the attempt
+  /// budget is spent; otherwise computes delay() for this attempt.
+  bool next() {
+    if (attempt_ >= policy_.max_attempts) return false;
+    ++attempt_;
+    delay_ = compute_delay();
+    return true;
+  }
+
+  /// Backoff to spend *before* the attempt next() just granted.
+  u64 delay() const { return delay_; }
+  /// 1-based index of the current attempt (0 before the first next()).
+  u32 attempt() const { return attempt_; }
+  /// Attempts beyond the first that next() has granted so far.
+  u32 retries() const { return attempt_ > 1 ? attempt_ - 1 : 0; }
+  bool exhausted() const { return attempt_ >= policy_.max_attempts; }
+
+ private:
+  u64 compute_delay() {
+    if (attempt_ <= 1 || policy_.backoff_base == 0) return 0;
+    const u32 shift = attempt_ - 2;
+    u64 d = policy_.backoff_base;
+    // Saturate instead of shifting into UB past 63 doublings.
+    if (shift >= 63 || d > (~u64{0} >> shift)) {
+      d = ~u64{0};
+    } else {
+      d <<= shift;
+    }
+    if (policy_.backoff_cap != 0 && d > policy_.backoff_cap) {
+      d = policy_.backoff_cap;
+    }
+    if (policy_.jitter_permille != 0) {
+      const u64 span = d / 1000 * policy_.jitter_permille +
+                       d % 1000 * policy_.jitter_permille / 1000;
+      d += rng_.next_below(span + 1);
+    }
+    return d;
+  }
+
+  RetryPolicy policy_;
+  SplitMix64 rng_;
+  u32 attempt_ = 0;
+  u64 delay_ = 0;
+};
+
+}  // namespace rvcap

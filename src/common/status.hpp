@@ -22,6 +22,8 @@ enum class Status {
   kNoSpace,
   kNotSupported,
   kDecoupled,       // access to a decoupled reconfigurable partition
+  kUnavailable,     // source known-bad right now (open circuit breaker,
+                    // link administratively down); retry later
   kInternal,
   // ---- reconfiguration-service request lifecycle ----
   kRejected,        // shed by admission control (queue saturated)
@@ -46,6 +48,7 @@ constexpr std::string_view to_string(Status s) {
     case Status::kNoSpace: return "no_space";
     case Status::kNotSupported: return "not_supported";
     case Status::kDecoupled: return "decoupled";
+    case Status::kUnavailable: return "unavailable";
     case Status::kInternal: return "internal";
     case Status::kRejected: return "rejected";
     case Status::kDeadlineMissed: return "deadline_missed";

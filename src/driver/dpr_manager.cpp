@@ -5,6 +5,7 @@
 #include "bitstream/generator.hpp"
 #include "common/bytes.hpp"
 #include "common/log.hpp"
+#include "driver/bitstream_source.hpp"
 
 namespace rvcap::driver {
 
@@ -60,6 +61,19 @@ Status DprManager::register_staged(std::string name, u32 rm_id, Addr addr,
   return Status::kOk;
 }
 
+Status DprManager::register_remote(std::string name, u32 rm_id,
+                                   std::string image) {
+  if (source_ == nullptr) return Status::kInvalidArgument;
+  if (find(name) != nullptr) return Status::kAlreadyExists;
+  Module m;
+  m.name = std::move(name);
+  m.rm_id = rm_id;
+  m.pbit_path = std::move(image);
+  m.remote = true;
+  modules_.push_back(std::move(m));
+  return Status::kOk;
+}
+
 DprManager::Module* DprManager::find(std::string_view name) {
   for (Module& m : modules_) {
     if (m.name == name) return &m;
@@ -103,15 +117,7 @@ u32 DprManager::staged_image_crc(Addr addr, u32 bytes) {
   return crc;
 }
 
-Status DprManager::ensure_staged(Module& m) {
-  if (m.pinned) return Status::kOk;
-  if (m.slot.has_value()) {
-    ++stats_.staging_hits;
-    slot_last_use_[*m.slot] = ++use_clock_;
-    return Status::kOk;
-  }
-  if (volume_ == nullptr) return Status::kInternal;
-
+u32 DprManager::claim_slot(Module& m) {
   const u32 slot = pick_victim_slot();
   if (slot_owner_[slot].has_value()) {
     Module& evicted = modules_[*slot_owner_[slot]];
@@ -119,24 +125,13 @@ Status DprManager::ensure_staged(Module& m) {
     ++stats_.evictions;
     log_debug("dpr_manager: evicting ", evicted.name, " from slot ", slot);
   }
-
-  // Stage via init_RModules (the Listing-1 step-1 path).
-  ReconfigModule rm{m.pbit_path, m.rm_id, 0, 0};
-  std::span<ReconfigModule> one(&rm, 1);
-  if (auto st = drv_.init_RModules(
-          one, *volume_,
-          config_.staging_base + u64{slot} * config_.slot_bytes);
-      !ok(st)) {
-    return st;
-  }
-  m.staged_addr = rm.start_address;
-  m.pbit_size = rm.pbit_size;
-  m.crc32 = rm.crc32;
   m.slot = slot;
   slot_owner_[slot] = static_cast<usize>(&m - modules_.data());
   slot_last_use_[slot] = ++use_clock_;
-  ++stats_.staging_loads;
+  return slot;
+}
 
+void DprManager::stage_bitflip_hook(const Module& m) {
   // Fault hook: a bit flip landing in the staged image after the load
   // CRC was computed (DDR upset / bus corruption). The staged-CRC
   // verify in activate() is what catches it.
@@ -150,6 +145,58 @@ Status DprManager::ensure_staged(Module& m) {
     byte ^= static_cast<u8>(1u << (bit % 8));
     cpu.write_buffer(m.staged_addr + bit / 8, std::span(&byte, 1));
   }
+}
+
+Status DprManager::ensure_staged(Module& m) {
+  if (m.pinned) return Status::kOk;
+  if (m.slot.has_value()) {
+    ++stats_.staging_hits;
+    slot_last_use_[*m.slot] = ++use_clock_;
+    return Status::kOk;
+  }
+
+  if (m.remote) {
+    // Acquisition through the delivery chain (cache -> net -> SD).
+    // The chain guarantees complete-or-failed, never partial; the
+    // golden CRC is taken over the bytes that actually landed, so the
+    // pre-transfer verify in activate() covers the image's whole DDR
+    // residence regardless of which source produced it.
+    if (source_ == nullptr) return Status::kInternal;
+    const u32 slot = claim_slot(m);
+    const Addr addr = config_.staging_base + u64{slot} * config_.slot_bytes;
+    u32 bytes = 0;
+    if (auto st = source_->fetch(m.pbit_path, addr, config_.slot_bytes,
+                                 &bytes);
+        !ok(st)) {
+      unstage(m);
+      return st;
+    }
+    m.staged_addr = addr;
+    m.pbit_size = bytes;
+    m.crc32 = staged_image_crc(addr, bytes);
+    ++stats_.staging_loads;
+    stage_bitflip_hook(m);
+    return Status::kOk;
+  }
+
+  if (volume_ == nullptr) return Status::kInternal;
+  const u32 slot = claim_slot(m);
+
+  // Stage via init_RModules (the Listing-1 step-1 path).
+  ReconfigModule rm{m.pbit_path, m.rm_id, 0, 0};
+  std::span<ReconfigModule> one(&rm, 1);
+  if (auto st = drv_.init_RModules(
+          one, *volume_,
+          config_.staging_base + u64{slot} * config_.slot_bytes);
+      !ok(st)) {
+    unstage(m);
+    return st;
+  }
+  m.staged_addr = rm.start_address;
+  m.pbit_size = rm.pbit_size;
+  m.crc32 = rm.crc32;
+  ++stats_.staging_loads;
+  stage_bitflip_hook(m);
   return Status::kOk;
 }
 

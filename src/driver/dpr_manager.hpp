@@ -29,6 +29,8 @@
 
 namespace rvcap::driver {
 
+class BitstreamSource;
+
 /// Recovery pipeline stage a journal entry refers to.
 enum class FailStage : u8 {
   kStaging,    // SD -> DDR load failed
@@ -110,6 +112,12 @@ class DprManager {
   /// image is CRC'd now; that checksum is the golden reference the
   /// recovery flow verifies against before every transfer.
   Status register_staged(std::string name, u32 rm_id, Addr addr, u32 bytes);
+  /// Register a module delivered by the attached BitstreamSource
+  /// (network / cache / SD-fallback chain) under repository name
+  /// `image`. Staging fetches the image into the slot cache and CRCs
+  /// it there; like file-backed modules it is evictable and restaged
+  /// on demand.
+  Status register_remote(std::string name, u32 rm_id, std::string image);
 
   /// Ensure the module's bitstream is staged (no reconfiguration).
   Status prefetch(std::string_view name);
@@ -167,6 +175,10 @@ class DprManager {
   /// Staging-path fault hook (sim::fault_sites::kStageBitFlip).
   void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
 
+  /// Delivery chain for register_remote modules. Must outlive the
+  /// manager; nullptr detaches (remote staging then fails kInternal).
+  void attach_source(BitstreamSource* source) { source_ = source; }
+
   /// Journal entries, oldest first (at most kJournalCapacity retained).
   std::vector<JournalEntry> journal() const;
   u64 journal_events() const { return journal_events_; }
@@ -180,16 +192,20 @@ class DprManager {
   struct Module {
     std::string name;
     u32 rm_id = 0;
-    std::string pbit_path;       // empty for pre-staged modules
+    std::string pbit_path;       // FAT32 path, or repository image name
+                                 // for remote modules; empty pre-staged
     std::optional<u32> slot;     // staging slot index when resident
     Addr staged_addr = 0;
     u32 pbit_size = 0;
     u32 crc32 = 0;               // golden CRC of the staged image
     bool pinned = false;         // pre-staged: never evicted
+    bool remote = false;         // staged through the BitstreamSource
   };
 
   Module* find(std::string_view name);
   Status ensure_staged(Module& m);
+  u32 claim_slot(Module& m);
+  void stage_bitflip_hook(const Module& m);
   u32 pick_victim_slot();
   void unstage(Module& m);
   u32 staged_image_crc(Addr addr, u32 bytes);
@@ -212,6 +228,7 @@ class DprManager {
   Scrubber* scrubber_ = nullptr;
   const fabric::Partition* scrub_part_ = nullptr;
   sim::FaultInjector* fault_ = nullptr;
+  BitstreamSource* source_ = nullptr;
   std::vector<Module> modules_;
   std::vector<std::optional<usize>> slot_owner_;  // module index per slot
   std::vector<u64> slot_last_use_;

@@ -77,14 +77,21 @@ Status SpiSdDriver::read_block(u32 lba, std::span<u8> buf) {
   if (buf.size() != storage::kBlockSize) return Status::kInvalidArgument;
   if (!initialized_) return Status::kIoError;
   cpu_.spend_call_overhead();
-  Status st = read_block_once(lba, buf);
   // SD transfers fail transiently (marginal wiring, clocking, card
   // state): a missing start token or a bad CRC is worth re-issuing the
-  // command before giving up.
-  for (u32 attempt = 0; attempt < read_retries_ && !ok(st); ++attempt) {
-    if (st != Status::kTimeout && st != Status::kCrcError) break;
+  // command before giving up. The shared RetrySchedule bounds the
+  // attempts; the default policy has no backoff, preserving the
+  // classic tight re-issue loop.
+  RetrySchedule sched(retry_policy_, lba);
+  Status st = Status::kIoError;
+  while (sched.next()) {
+    if (sched.delay() > 0) cpu_.simulator().run_cycles(sched.delay());
     st = read_block_once(lba, buf);
-    if (ok(st)) ++reads_recovered_;
+    if (ok(st)) {
+      if (sched.attempt() > 1) ++reads_recovered_;
+      return st;
+    }
+    if (st != Status::kTimeout && st != Status::kCrcError) break;
   }
   return st;
 }

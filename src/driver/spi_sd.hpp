@@ -8,6 +8,7 @@
 // measuring T_r).
 #pragma once
 
+#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "cpu/cpu.hpp"
 #include "soc/memory_map.hpp"
@@ -32,8 +33,15 @@ class SpiSdDriver {
   Status write_block(u32 lba, std::span<const u8> buf);
 
   /// Extra attempts after a failed read (0 = fail fast).
-  void set_read_retries(u32 n) { read_retries_ = n; }
-  u32 read_retries() const { return read_retries_; }
+  void set_read_retries(u32 n) { retry_policy_.max_attempts = n + 1; }
+  u32 read_retries() const {
+    return retry_policy_.max_attempts > 0 ? retry_policy_.max_attempts - 1
+                                          : 0;
+  }
+  /// Full control over the shared retry discipline (common/retry.hpp);
+  /// the default keeps the classic tight re-issue loop (no backoff).
+  void set_retry_policy(const RetryPolicy& p) { retry_policy_ = p; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
   /// Reads that only succeeded after at least one retry.
   u64 reads_recovered() const { return reads_recovered_; }
 
@@ -49,7 +57,7 @@ class SpiSdDriver {
   cpu::CpuContext& cpu_;
   Addr base_;
   bool initialized_ = false;
-  u32 read_retries_ = 2;
+  RetryPolicy retry_policy_{/*max_attempts=*/3};  // 1 try + 2 retries
   u64 reads_recovered_ = 0;
 };
 

@@ -36,6 +36,22 @@ std::string_view event_name(EventKind k) {
     case EventKind::kIrqLower: return "irq_lower";
     case EventKind::kIrqClaim: return "irq_claim";
     case EventKind::kIrqComplete: return "irq_complete";
+    case EventKind::kNetTx: return "net_tx";
+    case EventKind::kNetRx: return "net_rx";
+    case EventKind::kNetDrop: return "net_drop";
+    case EventKind::kNetDup: return "net_dup";
+    case EventKind::kNetCorrupt: return "net_corrupt";
+    case EventKind::kNetReorder: return "net_reorder";
+    case EventKind::kNetFetchStart: return "net_fetch_start";
+    case EventKind::kNetFetchDone: return "net_fetch_done";
+    case EventKind::kNetFetchFail: return "net_fetch_fail";
+    case EventKind::kNetRetry: return "net_retry";
+    case EventKind::kNetBreakerOpen: return "net_breaker_open";
+    case EventKind::kNetBreakerClose: return "net_breaker_close";
+    case EventKind::kNetCacheHit: return "net_cache_hit";
+    case EventKind::kNetCacheMiss: return "net_cache_miss";
+    case EventKind::kNetCachePoison: return "net_cache_poison";
+    case EventKind::kNetFallback: return "net_fallback";
   }
   return "?";
 }
@@ -81,6 +97,23 @@ Track event_track(EventKind k) {
     case EventKind::kIrqClaim:
     case EventKind::kIrqComplete:
       return Track::kIrq;
+    case EventKind::kNetTx:
+    case EventKind::kNetRx:
+    case EventKind::kNetDrop:
+    case EventKind::kNetDup:
+    case EventKind::kNetCorrupt:
+    case EventKind::kNetReorder:
+    case EventKind::kNetFetchStart:
+    case EventKind::kNetFetchDone:
+    case EventKind::kNetFetchFail:
+    case EventKind::kNetRetry:
+    case EventKind::kNetBreakerOpen:
+    case EventKind::kNetBreakerClose:
+    case EventKind::kNetCacheHit:
+    case EventKind::kNetCacheMiss:
+    case EventKind::kNetCachePoison:
+    case EventKind::kNetFallback:
+      return Track::kNet;
   }
   return Track::kBus;
 }
@@ -94,6 +127,7 @@ std::string_view track_name(Track t) {
     case Track::kService: return "ReconfigService";
     case Track::kScrub: return "Scrub";
     case Track::kIrq: return "IRQ";
+    case Track::kNet: return "Net";
   }
   return "?";
 }
@@ -105,6 +139,7 @@ bool duration_in_a2(EventKind k) {
     case EventKind::kDmaMm2sDone:
     case EventKind::kDmaS2mmDone:
     case EventKind::kScrubPass:
+    case EventKind::kNetFetchDone:
       return true;
     case EventKind::kAxisBeat:
     case EventKind::kIcapWord:
@@ -133,6 +168,21 @@ bool duration_in_a2(EventKind k) {
     case EventKind::kIrqLower:
     case EventKind::kIrqClaim:
     case EventKind::kIrqComplete:
+    case EventKind::kNetTx:
+    case EventKind::kNetRx:
+    case EventKind::kNetDrop:
+    case EventKind::kNetDup:
+    case EventKind::kNetCorrupt:
+    case EventKind::kNetReorder:
+    case EventKind::kNetFetchStart:
+    case EventKind::kNetFetchFail:
+    case EventKind::kNetRetry:
+    case EventKind::kNetBreakerOpen:
+    case EventKind::kNetBreakerClose:
+    case EventKind::kNetCacheHit:
+    case EventKind::kNetCacheMiss:
+    case EventKind::kNetCachePoison:
+    case EventKind::kNetFallback:
       return false;
   }
   return false;

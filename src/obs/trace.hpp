@@ -73,10 +73,29 @@ enum class EventKind : u8 {
   kIrqLower,     // source level 1->0: a0=source
   kIrqClaim,     // claim read returned source: a0=source
   kIrqComplete,  // completion write: a0=source
+  // ---- Networked bitstream delivery (track kNet) ----
+  kNetTx,           // frame accepted onto the link: a0=op, a1=chunk
+  kNetRx,           // frame delivered off the link: a0=op, a1=chunk
+  kNetDrop,         // frame lost in flight: a0=op, a1=chunk
+  kNetDup,          // frame duplicated in flight: a0=op, a1=chunk
+  kNetCorrupt,      // payload bit flipped in flight: a0=chunk, a1=bit
+  kNetReorder,      // frame delayed past a later one: a0=op, a1=chunk
+  kNetFetchStart,   // image fetch began: a0=image id, a1=total chunks
+  kNetFetchDone,    // fetch completed: a0=image id, a1=bytes, a2=cycles
+  kNetFetchFail,    // fetch gave up: a0=image id, a1=Status
+  kNetRetry,        // chunk re-requested: a0=chunk, a1=attempt, a2=backoff
+  kNetBreakerOpen,  // circuit breaker tripped: a0=consecutive failures
+  kNetBreakerClose, // breaker closed after successful probe
+  kNetCacheHit,     // verified cache hit: a0=image id
+  kNetCacheMiss,    // cache miss: a0=image id
+  kNetCachePoison,  // digest mismatch on hit, entry evicted: a0=image id
+  kNetFallback,     // delivery degraded: a0=image id, a1=DeliveryPath
 };
 
 /// Perfetto track (exported as one "process" per track).
-enum class Track : u8 { kBus, kStream, kIcap, kDma, kService, kScrub, kIrq };
+enum class Track : u8 {
+  kBus, kStream, kIcap, kDma, kService, kScrub, kIrq, kNet
+};
 
 std::string_view event_name(EventKind k);
 Track event_track(EventKind k);

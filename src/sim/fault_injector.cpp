@@ -1,6 +1,29 @@
 #include "sim/fault_injector.hpp"
 
+#include <algorithm>
+
 namespace rvcap::sim {
+
+namespace fault_sites {
+
+const std::vector<std::string_view>& all() {
+  // Lexicographically sorted so fire_report() order matches.
+  static const std::vector<std::string_view> kAll = {
+      kDmaMm2sEarlyIoc, kDmaMm2sSlvErr, kDmaMm2sStall,
+      kIcapCrcCorrupt,  kIcapSyncLoss,  kNetCorrupt,
+      kNetDrop,         kNetDup,        kNetReorder,
+      kNetServerStall,  kSdReadCrc,     kSdReadToken,
+      kSeuUpset,        kStageBitFlip,
+  };
+  return kAll;
+}
+
+bool is_canonical(std::string_view name) {
+  const auto& reg = all();
+  return std::binary_search(reg.begin(), reg.end(), name);
+}
+
+}  // namespace fault_sites
 
 FaultInjector::Site& FaultInjector::site(std::string_view name) {
   auto it = sites_.find(name);
@@ -17,12 +40,14 @@ FaultInjector::Site& FaultInjector::site(std::string_view name) {
   return it->second;
 }
 
-void FaultInjector::arm(std::string_view name, const Plan& plan) {
+Status FaultInjector::arm(std::string_view name, const Plan& plan) {
+  if (!known(name)) return Status::kNotFound;
   Site& s = site(name);
   s.plan = plan;
   s.armed = true;
   s.fired = 0;
   s.skipped = 0;
+  return Status::kOk;
 }
 
 void FaultInjector::disarm(std::string_view name) {

@@ -16,12 +16,14 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace rvcap::sim {
@@ -49,6 +51,24 @@ inline constexpr std::string_view kStageBitFlip = "stage.bitflip";
 /// consumes this site's streams for event gating, Poisson spacing and
 /// target selection; arm it to switch the background process on).
 inline constexpr std::string_view kSeuUpset = "seu.upset";
+/// Network link loses a frame in flight.
+inline constexpr std::string_view kNetDrop = "net.link.drop";
+/// Network link delivers a frame twice.
+inline constexpr std::string_view kNetDup = "net.link.dup";
+/// Network link delays a frame past a later one.
+inline constexpr std::string_view kNetReorder = "net.link.reorder";
+/// Network link flips one payload bit of a data frame.
+inline constexpr std::string_view kNetCorrupt = "net.link.corrupt";
+/// Bitstream server swallows a request (client sees a timeout).
+inline constexpr std::string_view kNetServerStall = "net.server.stall";
+
+/// Every canonical site name, lexicographically sorted. FaultInjector
+/// arms only names from this registry (or names declared at runtime
+/// via declare_site), so a typo'd site string is a hard error instead
+/// of a silently armed no-op that never fires.
+const std::vector<std::string_view>& all();
+/// True when `name` is in the canonical registry above.
+bool is_canonical(std::string_view name);
 }  // namespace fault_sites
 
 class FaultInjector {
@@ -69,14 +89,27 @@ class FaultInjector {
   }
   u64 seed() const { return seed_; }
 
-  void arm(std::string_view name, const Plan& plan);
-  void arm(std::string_view name, u32 count, double probability = 1.0,
-           u32 skip = 0) {
-    arm(name, Plan{count, probability, skip});
+  /// Register a non-canonical site name (component-local or test-only)
+  /// so arm() accepts it. Declarations survive reseed().
+  void declare_site(std::string_view name) {
+    declared_.emplace(name);
+  }
+
+  /// Arm `name`. Returns Status::kNotFound — and arms nothing — when
+  /// the name is neither canonical (fault_sites::all()) nor declared;
+  /// a typo'd site string is a hard error, not a silent no-op.
+  Status arm(std::string_view name, const Plan& plan);
+  Status arm(std::string_view name, u32 count, double probability = 1.0,
+             u32 skip = 0) {
+    return arm(name, Plan{count, probability, skip});
   }
   void disarm(std::string_view name);
   /// Disarm every site (streams and counters survive for reporting).
   void disarm_all();
+  /// True when `name` would be accepted by arm().
+  bool known(std::string_view name) const {
+    return fault_sites::is_canonical(name) || declared_.count(name) != 0;
+  }
 
   /// One injection decision at `name`. Consumes one step of the site's
   /// decision stream per eligible query; unarmed sites never fire and
@@ -120,6 +153,7 @@ class FaultInjector {
 
   u64 seed_;
   std::map<std::string, Site, std::less<>> sites_;
+  std::set<std::string, std::less<>> declared_;
 };
 
 }  // namespace rvcap::sim

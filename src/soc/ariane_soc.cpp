@@ -81,6 +81,13 @@ ArianeSoc::ArianeSoc(const SocConfig& cfg)
                                &hwicap_conv_->upstream());
   }
 
+  // ---- networked bitstream delivery plant ----
+  if (cfg_.with_net) {
+    net_link_ = std::make_unique<net::NetLink>("net_link", cfg_.net_link);
+    net_server_ = std::make_unique<net::BitstreamServer>(
+        "net_server", *net_link_, cfg_.net_server);
+  }
+
   // ---- RM slot behind the isolator (needs the RV-CAP streams) ----
   if (cfg_.with_rvcap) {
     rm_slot_ = std::make_unique<accel::RmSlot>(
@@ -122,6 +129,12 @@ ArianeSoc::ArianeSoc(const SocConfig& cfg)
     sim_.add(rm_out_wire_.get());
   }
   sim_.add(&icap_);
+  // Net plant last: existing deployments keep their registration order
+  // (and therefore their golden traces) bit-identical.
+  if (net_link_) {
+    sim_.add(net_link_.get());
+    sim_.add(net_server_.get());
+  }
 }
 
 }  // namespace rvcap::soc

@@ -28,6 +28,8 @@
 #include "irq/plic.hpp"
 #include "mem/ddr.hpp"
 #include "mem/sram.hpp"
+#include "net/bitstream_server.hpp"
+#include "net/net_link.hpp"
 #include "rvcap/controller.hpp"
 #include "sim/simulator.hpp"
 #include "soc/memory_map.hpp"
@@ -53,6 +55,9 @@ struct SocConfig {
   sim::Simulator::Mode sim_mode = sim::Simulator::Mode::kScheduled;
   bool with_rvcap = true;    // instantiate the RV-CAP controller
   bool with_hwicap = false;  // instantiate the AXI_HWICAP baseline
+  bool with_net = false;     // instantiate link + bitstream server
+  net::NetLink::Config net_link{};
+  net::BitstreamServer::Config net_server{};
   u32 hwicap_fifo_depth = 1024;  // paper resizes the vendor 64 -> 1024
   u32 spi_clock_divider = 4;     // 25 MHz SD SPI clock
   u32 sd_blocks = 131072;        // 64 MiB card
@@ -92,6 +97,11 @@ class ArianeSoc {
   bool has_rvcap() const { return rvcap_ != nullptr; }
   bool has_hwicap() const { return hwicap_ != nullptr; }
 
+  /// Networked bitstream delivery plant (with_net deployments).
+  net::NetLink& net_link() { return *net_link_; }
+  net::BitstreamServer& net_server() { return *net_server_; }
+  bool has_net() const { return net_link_ != nullptr; }
+
   /// Register an additional reconfigurable partition (reconfig-only:
   /// no stream plumbing); returns its ConfigMemory handle.
   usize add_partition(const fabric::Partition& p) {
@@ -99,11 +109,14 @@ class ArianeSoc {
   }
 
   /// Attach (or detach, with nullptr) a fault injector to every
-  /// instrumented component: SD card, ICAP, and the RV-CAP DMA.
+  /// instrumented component: SD card, ICAP, the RV-CAP DMA, and the
+  /// network plant when present.
   void attach_fault_injector(sim::FaultInjector* fi) {
     sd_.set_fault_injector(fi);
     icap_.set_fault_injector(fi);
     if (rvcap_) rvcap_->dma().set_fault_injector(fi);
+    if (net_link_) net_link_->attach_fault_injector(fi);
+    if (net_server_) net_server_->attach_fault_injector(fi);
   }
 
  private:
@@ -154,6 +167,10 @@ class ArianeSoc {
   // Direct DDR binding used when RV-CAP (and its crossbar) is absent.
   std::unique_ptr<axi::AxiWire> ddr_direct_wire_;
   std::unique_ptr<axi::AxiPort> ddr_direct_port_;
+
+  // Networked bitstream delivery plant (with_net deployments).
+  std::unique_ptr<net::NetLink> net_link_;
+  std::unique_ptr<net::BitstreamServer> net_server_;
 };
 
 }  // namespace rvcap::soc

@@ -49,6 +49,16 @@ class ServiceRegs : public axi::AxiLiteSlave {
   static constexpr Addr kScrubMeanMttr = 0x70;  // core cycles
   static constexpr Addr kScrubFramesPerSec = 0x74;
 
+  // ---- networked-delivery block (published per delivery) ----
+  static constexpr Addr kNetFetchesOk = 0x80;
+  static constexpr Addr kNetFetchFails = 0x84;
+  static constexpr Addr kNetRetries = 0x88;
+  static constexpr Addr kNetBreakerTrips = 0x8C;
+  static constexpr Addr kNetCacheHits = 0x90;
+  static constexpr Addr kNetCachePoisoned = 0x94;
+  static constexpr Addr kNetSdFallbacks = 0x98;
+  static constexpr Addr kNetDeliveryFails = 0x9C;
+
   explicit ServiceRegs(std::string name) : AxiLiteSlave(std::move(name)) {}
 
  protected:
@@ -62,7 +72,7 @@ class ServiceRegs : public axi::AxiLiteSlave {
   }
 
  private:
-  std::array<u32, 32> regs_{};
+  std::array<u32, 64> regs_{};
 };
 
 }  // namespace rvcap::soc

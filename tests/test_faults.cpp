@@ -7,6 +7,7 @@
 // must be left decoupled, never coupled to a corrupt partition.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "bitstream/generator.hpp"
@@ -41,8 +42,55 @@ TEST(FaultInjector, UnarmedAndUnknownSitesNeverFire) {
   EXPECT_EQ(fi.total_fires(), 0u);
 }
 
+TEST(FaultInjector, TypoedSiteNameIsAHardError) {
+  FaultInjector fi(7);
+  // Neither canonical nor declared: arm must refuse and leave the site
+  // unarmed instead of silently creating a no-op site.
+  EXPECT_EQ(fi.arm("sd.read.tokn", /*count=*/1), Status::kNotFound);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(fi.should_fire("sd.read.tokn"));
+  }
+  EXPECT_EQ(fi.total_fires(), 0u);
+  // Canonical names arm without any declaration.
+  EXPECT_EQ(fi.arm(sites::kSdReadToken, /*count=*/1), Status::kOk);
+  EXPECT_TRUE(fi.should_fire(sites::kSdReadToken));
+}
+
+TEST(FaultInjector, DeclaredSitesArmAndSurviveReseed) {
+  FaultInjector fi(7);
+  EXPECT_FALSE(fi.known("test.site"));
+  fi.declare_site("test.site");
+  EXPECT_TRUE(fi.known("test.site"));
+  EXPECT_EQ(fi.arm("test.site", /*count=*/1), Status::kOk);
+  EXPECT_TRUE(fi.should_fire("test.site"));
+  fi.reseed(8);  // clears armed plans, keeps the declared registry
+  EXPECT_TRUE(fi.known("test.site"));
+  EXPECT_EQ(fi.arm("test.site", /*count=*/1), Status::kOk);
+}
+
+TEST(FaultInjector, CanonicalSiteListIsSortedAndComplete) {
+  const auto& all = sites::all();
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  for (std::string_view name : all) {
+    EXPECT_TRUE(sites::is_canonical(name)) << name;
+  }
+  // Every site the components consult must be enumerable, including
+  // the network plant's.
+  const std::set<std::string_view> s(all.begin(), all.end());
+  EXPECT_TRUE(s.count(sites::kSdReadToken));
+  EXPECT_TRUE(s.count(sites::kSdReadCrc));
+  EXPECT_TRUE(s.count(sites::kIcapCrcCorrupt));
+  EXPECT_TRUE(s.count(sites::kNetDrop));
+  EXPECT_TRUE(s.count(sites::kNetDup));
+  EXPECT_TRUE(s.count(sites::kNetReorder));
+  EXPECT_TRUE(s.count(sites::kNetCorrupt));
+  EXPECT_TRUE(s.count(sites::kNetServerStall));
+  EXPECT_FALSE(sites::is_canonical("no.such.site"));
+}
+
 TEST(FaultInjector, CountLimitsFires) {
   FaultInjector fi(7);
+  fi.declare_site("x");
   fi.arm("x", /*count=*/2);
   u32 fired = 0;
   for (int i = 0; i < 50; ++i) {
@@ -55,6 +103,7 @@ TEST(FaultInjector, CountLimitsFires) {
 
 TEST(FaultInjector, SkipDelaysFirstFire) {
   FaultInjector fi(7);
+  fi.declare_site("x");
   fi.arm("x", /*count=*/1, /*probability=*/1.0, /*skip=*/3);
   EXPECT_FALSE(fi.should_fire("x"));
   EXPECT_FALSE(fi.should_fire("x"));
@@ -65,6 +114,7 @@ TEST(FaultInjector, SkipDelaysFirstFire) {
 
 TEST(FaultInjector, UnlimitedCountKeepsFiring) {
   FaultInjector fi(7);
+  fi.declare_site("x");
   fi.arm("x", /*count=*/0);
   for (int i = 0; i < 20; ++i) {
     EXPECT_TRUE(fi.should_fire("x"));
@@ -73,6 +123,9 @@ TEST(FaultInjector, UnlimitedCountKeepsFiring) {
 
 TEST(FaultInjector, ProbabilityIsSeedDeterministic) {
   FaultInjector a(42), b(42), c(43);
+  a.declare_site("p");
+  b.declare_site("p");
+  c.declare_site("p");
   a.arm("p", 0, 0.5);
   b.arm("p", 0, 0.5);
   c.arm("p", 0, 0.5);
@@ -93,6 +146,9 @@ TEST(FaultInjector, SiteStreamsAreInterleavingIndependent) {
   // The decisions at site "a" must not depend on how often other sites
   // are queried in between.
   FaultInjector x(9), y(9);
+  x.declare_site("a");
+  y.declare_site("a");
+  y.declare_site("b");
   x.arm("a", 0, 0.5);
   y.arm("a", 0, 0.5);
   y.arm("b", 0, 0.5);
@@ -118,6 +174,8 @@ TEST(FaultInjector, ValueIsDeterministicAndBounded) {
 
 TEST(FaultInjector, DisarmStopsFiring) {
   FaultInjector fi(1);
+  fi.declare_site("x");
+  fi.declare_site("y");
   fi.arm("x", 0);
   EXPECT_TRUE(fi.should_fire("x"));
   fi.disarm("x");

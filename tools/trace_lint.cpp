@@ -1,14 +1,18 @@
 // trace-lint: structural validator for the Chrome-trace JSON emitted by
 // obs::write_chrome_trace (see tools/trace_schema.json for the contract).
 //
-//   trace-lint <trace.json>
+//   trace-lint [--require=<track>]... <trace.json>
 //
 // Exits 0 when the file is well-formed JSON and satisfies the schema:
 // a top-level "traceEvents" array whose entries carry ph/name/pid/tid,
-// spans ("X") carry ts+dur, instants ("i") carry ts, and the ICAP, DMA
-// and ReconfigService-or-IRQ tracks are all present. Exits 1 with a
-// diagnostic otherwise. Self-contained on purpose: CI runs it against
-// `bench_micro --trace` output with no JSON library in the image.
+// spans ("X") carry ts+dur, instants ("i") carry ts, and the required
+// tracks are all present. With no --require flags the default set is
+// ICAP, DMA and ReconfigService-or-IRQ (the reconfiguration path that
+// `bench_micro --trace` captures); one or more --require=<track> flags
+// replace that default so other capture modes can state their own
+// contract (e.g. --require=Net for `bench_net --trace`). Exits 1 with
+// a diagnostic otherwise. Self-contained on purpose: CI runs it with
+// no JSON library in the image.
 
 #include <cctype>
 #include <cstdio>
@@ -225,13 +229,32 @@ const JsonValue* field(const JsonObject& o, const char* key) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace-lint <trace.json>\n");
+  std::vector<std::string> required;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--require=", 0) == 0) {
+      const std::string track = arg.substr(10);
+      if (track.empty()) {
+        std::fprintf(stderr, "trace-lint: --require needs a track name\n");
+        return 2;
+      }
+      required.push_back(track);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;  // more than one positional: fall through to usage
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: trace-lint [--require=<track>]... <trace.json>\n");
     return 2;
   }
-  std::ifstream f(argv[1], std::ios::binary);
+  std::ifstream f(path, std::ios::binary);
   if (!f) {
-    std::fprintf(stderr, "trace-lint: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "trace-lint: cannot open %s\n", path);
     return 1;
   }
   std::ostringstream buf;
@@ -241,7 +264,7 @@ int main(int argc, char** argv) {
   JsonValue root;
   std::string error;
   if (!Parser(text).parse(root, error)) {
-    std::fprintf(stderr, "trace-lint: %s: invalid JSON: %s\n", argv[1],
+    std::fprintf(stderr, "trace-lint: %s: invalid JSON: %s\n", path,
                  error.c_str());
     return 1;
   }
@@ -320,9 +343,15 @@ int main(int argc, char** argv) {
                  b != nullptr ? "\")" : "");
     ++failures;
   };
-  require_track("ICAP", nullptr);
-  require_track("DMA", nullptr);
-  require_track("ReconfigService", "IRQ");
+  if (required.empty()) {
+    require_track("ICAP", nullptr);
+    require_track("DMA", nullptr);
+    require_track("ReconfigService", "IRQ");
+  } else {
+    for (const std::string& track : required) {
+      require_track(track.c_str(), nullptr);
+    }
+  }
   if (spans == 0) {
     std::fprintf(stderr, "trace-lint: no \"X\" duration spans\n");
     ++failures;
@@ -335,7 +364,7 @@ int main(int argc, char** argv) {
 
   std::printf("trace-lint: %s OK (%zu events, %zu spans, %zu instants, "
               "%zu tracks)\n",
-              argv[1], events->array().size(), spans, instants,
+              path, events->array().size(), spans, instants,
               tracks.size());
   return 0;
 }
